@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdio>
+
+namespace sixg::bench {
+
+/// Shared header so every reproduction binary states what it regenerates
+/// and which paper artefact it corresponds to.
+inline void banner(const char* artefact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artefact, description);
+  std::printf("==============================================================\n");
+}
+
+/// One paper-vs-measured line for EXPERIMENTS.md-style accounting.
+inline void anchor(const char* what, double measured, const char* paper) {
+  std::printf("  anchor: %-42s measured %10.2f | paper %s\n", what, measured,
+              paper);
+}
+
+}  // namespace sixg::bench

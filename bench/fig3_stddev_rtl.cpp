@@ -1,0 +1,27 @@
+// Figure 3: "Standard Deviation Latency".
+// Regenerates the per-cell RTL standard deviation grid; the paper's
+// extremes are the almost-deterministic B3 (1.8 ms) and the bursty E5
+// (46.4 ms).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace sixg;
+  bench::banner("Figure 3", "per-cell RTL standard deviation (ms)");
+
+  const core::KlagenfurtStudy study;
+  const auto report = study.run_campaign();
+
+  std::printf("\n%s\n", report.stddev_table().str().c_str());
+
+  const auto min_sd = report.min_stddev();
+  const auto max_sd = report.max_stddev();
+  bench::anchor(("min cell stddev @ " + min_sd.label).c_str(), min_sd.value,
+                "1.8 ms @ B3");
+  bench::anchor(("max cell stddev @ " + max_sd.label).c_str(), max_sd.value,
+                "46.4 ms @ E5");
+  return 0;
+}

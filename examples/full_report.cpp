@@ -1,0 +1,31 @@
+// Regenerates the paper's entire analysis as one markdown document:
+// requirements matrix, drive-test grids, gap analysis, Table I trace and
+// the Section V recommendation what-ifs.
+//
+// Usage: full_report [output.md]   (stdout when no file is given)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  sixg::core::StudyReport::Options options;
+  options.whatif.samples = 2000;
+  const sixg::core::StudyReport report{options};
+  const std::string markdown = report.render();
+
+  if (argc > 1) {
+    std::ofstream file{argv[1]};
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    file << markdown;
+    std::printf("wrote %zu bytes to %s\n", markdown.size(), argv[1]);
+  } else {
+    std::cout << markdown;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: build the paper's central-European scenario, compare wired
+// and mobile latency to the university reference probe, and reproduce the
+// Table I traceroute with its continental detour.
+
+#include <cstdio>
+
+#include "geo/grid.hpp"
+#include "geo/population.hpp"
+#include "measurement/ping.hpp"
+#include "radio/conditions.hpp"
+#include "radio/link_model.hpp"
+#include "radio/profile.hpp"
+#include "topo/europe.hpp"
+#include "topo/traceroute.hpp"
+
+int main() {
+  using namespace sixg;
+
+  // 1. The scenario: Klagenfurt drive-test area, carrier anchored in
+  //    Vienna, university probe in sector cell E3.
+  const topo::EuropeTopology europe = topo::build_europe();
+  Rng rng{42};
+
+  // 2. Wired baseline: residential host in the sector -> probe, and the
+  //    Exoscale-like cloud in Vienna (the paper's [3] reports 1-11 ms and
+  //    7-12 ms respectively).
+  {
+    const meas::PingMeasurement wired{europe.net, europe.wired_host,
+                                      europe.university_probe};
+    const auto result = wired.run(500, rng);
+    std::printf("wired -> probe   : mean %.1f ms (min %.1f, max %.1f)\n",
+                result.summary_ms.mean(), result.summary_ms.min(),
+                result.summary_ms.max());
+  }
+  {
+    const meas::PingMeasurement wired{europe.net, europe.wired_host,
+                                      europe.cloud_vienna};
+    const auto result = wired.run(500, rng);
+    std::printf("wired -> cloud   : mean %.1f ms (min %.1f, max %.1f)\n",
+                result.summary_ms.mean(), result.summary_ms.min(),
+                result.summary_ms.max());
+  }
+
+  // 3. Mobile node in cell C2 behind the 5G access -> probe.
+  const auto grid = geo::SectorGrid::klagenfurt_sector();
+  const auto pop = geo::PopulationRaster::klagenfurt(grid);
+  const auto rem = radio::RadioEnvironmentMap::klagenfurt(grid, pop);
+  const radio::RadioLinkModel nsa{radio::AccessProfile::fiveg_nsa()};
+  {
+    const auto c2 = grid.parse_label("C2");
+    const meas::PingMeasurement mobile{europe.net, europe.mobile_ue,
+                                       europe.university_probe, nsa,
+                                       rem.at(*c2)};
+    const auto result = mobile.run(500, rng);
+    std::printf("mobile(C2)->probe: mean %.1f ms (min %.1f, max %.1f)\n",
+                result.summary_ms.mean(), result.summary_ms.min(),
+                result.summary_ms.max());
+  }
+
+  // 4. The Table I traceroute: ten hops and a 2,500+ km detour for two
+  //    endpoints less than 5 km apart.
+  const topo::TracerouteResult trace =
+      topo::traceroute(europe.net, europe.mobile_ue, europe.university_probe,
+                       rng);
+  std::printf("\nTraceroute mobile-ue -> probe (%zu hops, %.0f km):\n%s",
+              trace.hop_count(), trace.total_km, trace.table().str().c_str());
+
+  const double straight_km = geo::distance_km(
+      europe.net.node(europe.mobile_ue).position,
+      europe.net.node(europe.university_probe).position);
+  std::printf("\nStraight-line UE->probe distance: %.1f km; routed: %.0f km\n",
+              straight_km, trace.total_km);
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "apps/federated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "stats/distributions.hpp"
+
+namespace sixg::apps {
+
+FederatedRoundModel::FederatedRoundModel(LatencySampler network,
+                                         Config config)
+    : network_(std::move(network)), config_(config) {
+  SIXG_ASSERT(network_ != nullptr, "latency sampler required");
+  SIXG_ASSERT(config_.clients > 0, "at least one client");
+}
+
+FederatedRoundModel::Report FederatedRoundModel::run() const {
+  Report report;
+  Rng rng{config_.seed};
+  const stats::Lognormal training = stats::Lognormal::from_median(
+      config_.local_training_mean.sec(), config_.local_training_sigma);
+
+  const Duration upload =
+      config_.uplink_rate.transmission_time(config_.model_update);
+  const Duration download =
+      config_.downlink_rate.transmission_time(config_.model_update);
+
+  double network_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::vector<double> client_done(config_.clients);
+  for (std::uint32_t round = 0; round < config_.rounds; ++round) {
+    for (std::uint32_t c = 0; c < config_.clients; ++c) {
+      const double train_s = training.sample(rng);
+      // Model dissemination + upload, each with a network one-way leg.
+      const Duration down_leg = network_(rng) + download;
+      const Duration up_leg = network_(rng) + upload;
+      client_done[c] = train_s + down_leg.sec() + up_leg.sec();
+      network_seconds += down_leg.sec() + up_leg.sec();
+    }
+    std::sort(client_done.begin(), client_done.end());
+    const double slowest = client_done.back();
+    const double median = client_done[client_done.size() / 2];
+    const double round_s =
+        slowest + config_.aggregation_compute.sec();
+    report.round_seconds.add(round_s);
+    report.straggler_wait_seconds.add(slowest - median);
+    total_seconds += round_s * double(config_.clients);
+  }
+  report.network_share =
+      total_seconds > 0.0 ? network_seconds / total_seconds : 0.0;
+  return report;
+}
+
+DataRate tcp_throughput_bound(Duration rtt, double loss_rate, DataSize mss) {
+  SIXG_ASSERT(loss_rate > 0.0 && loss_rate < 1.0, "loss in (0,1) required");
+  SIXG_ASSERT(rtt.ns() > 0, "rtt must be positive");
+  const double bits_per_sec =
+      double(mss.bit_count()) / (rtt.sec() * std::sqrt(loss_rate));
+  return DataRate::bps(std::int64_t(bits_per_sec));
+}
+
+DataRate effective_uplink(DataRate access, Duration rtt, double loss_rate) {
+  const DataRate bound = tcp_throughput_bound(rtt, loss_rate);
+  return bound < access ? bound : access;
+}
+
+TextTable federated_comparison(
+    const std::vector<FederatedScenario>& scenarios) {
+  TextTable t{{"Aggregator", "Mean round (s)", "Straggler wait (s)",
+               "Network share"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const auto& s : scenarios) {
+    t.add_row({s.name, TextTable::num(s.report.round_seconds.mean(), 2),
+               TextTable::num(s.report.straggler_wait_seconds.mean(), 2),
+               TextTable::num(s.report.network_share * 100.0, 1) + " %"});
+  }
+  return t;
+}
+
+}  // namespace sixg::apps

@@ -1,0 +1,85 @@
+#include "apps/traffic.hpp"
+
+namespace sixg::apps {
+
+namespace {
+/// Average rate for a daily volume.
+DataRate daily_average(DataSize volume) {
+  return DataRate::bps(volume.bit_count() / (24 * 3600));
+}
+}  // namespace
+
+DomainTraffic DomainTraffic::autonomous_vehicle() {
+  DomainTraffic d;
+  d.name = "autonomous vehicle";
+  d.volume_per_day = DataSize::terabytes(4);
+  d.sustained_rate = daily_average(d.volume_per_day);
+  d.burst_rate = DataRate::gbps(1);
+  d.latency_budget = Duration::from_millis_f(5.0);
+  d.devices_per_km2 = 2000.0;
+  return d;
+}
+
+DomainTraffic DomainTraffic::remote_surgery() {
+  DomainTraffic d;
+  d.name = "remote surgery";
+  d.volume_per_day = DataSize::gigabytes(60);
+  d.sustained_rate = daily_average(d.volume_per_day);
+  d.burst_rate = DataRate::mbps(120);
+  d.latency_budget = Duration::from_millis_f(10.0);
+  d.devices_per_km2 = 5.0;
+  return d;
+}
+
+DomainTraffic DomainTraffic::smart_factory_line() {
+  DomainTraffic d;
+  d.name = "smart factory line";
+  d.volume_per_day = DataSize::terabytes(5);
+  d.sustained_rate = daily_average(d.volume_per_day);
+  d.burst_rate = DataRate::gbps(2);
+  d.latency_budget = Duration::from_millis_f(8.0);
+  d.devices_per_km2 = 50000.0;
+  return d;
+}
+
+DomainTraffic DomainTraffic::smart_city_sensing() {
+  DomainTraffic d;
+  d.name = "smart city sensing";
+  // 50,000 intersections x ~100 MB/day of aggregated detector data.
+  d.volume_per_day = DataSize::terabytes(5);
+  d.sustained_rate = daily_average(d.volume_per_day);
+  d.burst_rate = DataRate::mbps(800);
+  d.latency_budget = Duration::from_millis_f(100.0);
+  d.devices_per_km2 = 100000.0;
+  return d;
+}
+
+DomainTraffic DomainTraffic::ar_gaming() {
+  DomainTraffic d;
+  d.name = "AR gaming";
+  d.volume_per_day = DataSize::gigabytes(40);
+  d.sustained_rate = daily_average(d.volume_per_day);
+  d.burst_rate = DataRate::mbps(80);
+  d.latency_budget = Duration::from_millis_f(20.0);
+  d.devices_per_km2 = 3000.0;
+  return d;
+}
+
+std::vector<DomainTraffic> DomainTraffic::all() {
+  return {autonomous_vehicle(), remote_surgery(), smart_factory_line(),
+          smart_city_sensing(), ar_gaming()};
+}
+
+TextTable DomainTraffic::matrix() {
+  TextTable t{{"Domain", "Volume/day", "Avg rate", "Burst rate",
+               "Latency budget", "Devices/km2"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const DomainTraffic& d : all()) {
+    t.add_row({d.name, d.volume_per_day.str(), d.sustained_rate.str(),
+               d.burst_rate.str(), d.latency_budget.str(),
+               TextTable::num(d.devices_per_km2, 0)});
+  }
+  return t;
+}
+
+}  // namespace sixg::apps

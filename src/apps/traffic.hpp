@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sixg::apps {
+
+/// Quantified traffic/requirement profile of one application domain from
+/// the paper's Sections II-III: data volumes, sustained rates, latency
+/// budgets, and device densities that a network generation must carry.
+struct DomainTraffic {
+  std::string name;
+  DataSize volume_per_day;       ///< offered data per producer per day
+  DataRate sustained_rate;       ///< volume averaged over 24 h
+  DataRate burst_rate;           ///< peak sustained requirement
+  Duration latency_budget;       ///< end-to-end budget
+  double devices_per_km2 = 0.0;  ///< density the domain brings
+
+  /// Section III-B: an autonomous vehicle generates up to 4 TB/day.
+  [[nodiscard]] static DomainTraffic autonomous_vehicle();
+  /// Remote surgery: HD video + haptics, >10 GB/day, 10 ms budget.
+  [[nodiscard]] static DomainTraffic remote_surgery();
+  /// A fully automated manufacturing line: >5 TB/day (Section III-C).
+  [[nodiscard]] static DomainTraffic smart_factory_line();
+  /// Smart-city sensing (Tokyo-scale: 50,000 intersections).
+  [[nodiscard]] static DomainTraffic smart_city_sensing();
+  /// AR gaming (the Section IV use case).
+  [[nodiscard]] static DomainTraffic ar_gaming();
+
+  [[nodiscard]] static std::vector<DomainTraffic> all();
+
+  /// Render the requirements matrix.
+  [[nodiscard]] static TextTable matrix();
+};
+
+/// Scalability arithmetic for Section II-C / III-C claims: how many
+/// devices per km^2 a generation admits and whether the 2030 forecast
+/// (125 billion devices) fits.
+struct ScalabilityModel {
+  double devices_per_km2_5g = 1.0e5;   ///< 5G mMTC design target
+  double devices_per_km2_6g = 1.0e7;   ///< 6G target (Section II-C)
+  double forecast_devices_2030 = 125e9;
+  double urbanised_area_km2 = 1.9e6;   ///< global urban footprint
+
+  [[nodiscard]] double required_density() const {
+    return forecast_devices_2030 / urbanised_area_km2;
+  }
+  [[nodiscard]] bool feasible_5g() const {
+    return required_density() <= devices_per_km2_5g;
+  }
+  [[nodiscard]] bool feasible_6g() const {
+    return required_density() <= devices_per_km2_6g;
+  }
+};
+
+}  // namespace sixg::apps

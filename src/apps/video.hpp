@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "stats/summary.hpp"
+
+namespace sixg::apps {
+
+/// The bidirectional video stream of the paper's use case (Section IV-A):
+/// an ffmpeg-like pipeline — capture, encode, network, jitter buffer,
+/// decode, display — paced at the target frame rate. Models what fraction
+/// of frames arrive in time for their display slot and the induced
+/// glass-to-glass latency.
+class VideoPipeline {
+ public:
+  using RttSampler = std::function<Duration(Rng&)>;
+
+  struct Config {
+    double frame_rate_hz = 60.0;
+    DataSize mean_frame = DataSize::bytes(45'000);  ///< 1080p @ ~22 Mbps
+    double i_frame_every = 48;                      ///< GOP length
+    double i_frame_scale = 5.0;                     ///< I frames are larger
+    DataRate link_rate = DataRate::mbps(80);
+    Duration encode = Duration::from_millis_f(2.8);
+    Duration decode = Duration::from_millis_f(1.6);
+    /// Jitter-buffer depth in frame intervals (0 = no buffer).
+    double jitter_buffer_frames = 1.0;
+    std::uint32_t frames = 18000;
+    std::uint64_t seed = 0x71de0;
+  };
+
+  /// `rtt` samples the network round trip; one way is used per frame.
+  VideoPipeline(RttSampler rtt, Config config);
+
+  struct Report {
+    stats::Summary glass_to_glass_ms;  ///< capture -> display latency
+    double on_time_share = 0.0;        ///< frames hitting their slot
+    double stall_share = 0.0;          ///< display slots with no frame
+    std::uint32_t frames = 0;
+  };
+
+  [[nodiscard]] Report run() const;
+
+ private:
+  RttSampler rtt_;
+  Config config_;
+};
+
+}  // namespace sixg::apps

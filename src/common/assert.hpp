@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// SIXG_ASSERT: precondition/invariant check that stays enabled in release
+/// builds. Simulation correctness depends on these invariants, and the cost
+/// is negligible next to event processing, so we never compile them out.
+#define SIXG_ASSERT(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "sixg assertion failed: %s\n  at %s:%d\n  %s\n",   \
+                   #cond, __FILE__, __LINE__, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace sixg {
+
+/// Strongly-typed integral identifier. `Tag` makes NodeId, LinkId, UeId,...
+/// mutually unconvertible so an index into the wrong table is a compile
+/// error, not a silent bug.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+}  // namespace sixg
+
+namespace std {
+template <typename Tag>
+struct hash<sixg::StrongId<Tag>> {
+  size_t operator()(sixg::StrongId<Tag> id) const noexcept {
+    return std::hash<typename sixg::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

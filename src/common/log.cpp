@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace sixg {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (level < Log::level()) return;
+  std::lock_guard lock{g_mutex};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               int(component.size()), component.data(), int(message.size()),
+               message.data());
+}
+
+}  // namespace sixg

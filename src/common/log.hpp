@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+namespace sixg {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Minimal thread-safe leveled logger writing to stderr. Simulations are
+/// quiet by default (kWarn); examples raise the level to narrate runs.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define SIXG_LOG(lvl_, component_)                       \
+  if (::sixg::Log::level() <= (lvl_))                    \
+  ::sixg::detail::LogLine((lvl_), (component_))
+
+#define SIXG_DEBUG(component) SIXG_LOG(::sixg::LogLevel::kDebug, component)
+#define SIXG_INFO(component) SIXG_LOG(::sixg::LogLevel::kInfo, component)
+#define SIXG_WARN(component) SIXG_LOG(::sixg::LogLevel::kWarn, component)
+#define SIXG_ERROR(component) SIXG_LOG(::sixg::LogLevel::kError, component)
+
+}  // namespace sixg

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sixg {
+
+/// SplitMix64: used for seed expansion and for deriving independent child
+/// seeds from (parent seed, stream index) pairs. Deterministic replication
+/// across serial and parallel campaign execution depends on this derivation
+/// being pure.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive an independent seed for stream `index` of a generator seeded with
+/// `base`. Used by the parallel replication runner.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — the simulator's base generator. Small state, very
+/// fast, passes BigCrush; satisfies UniformRandomBitGenerator so it plugs
+/// into <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return double((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = __uint128_t(x) * __uint128_t(n);
+    auto l = std::uint64_t(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = __uint128_t(x) * __uint128_t(n);
+        l = std::uint64_t(m);
+      }
+    }
+    return std::uint64_t(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+  /// Spawn an independent child generator (stream `index`).
+  [[nodiscard]] Rng split(std::uint64_t index) const {
+    return Rng{derive_seed(state_[0] ^ state_[3], index)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sixg

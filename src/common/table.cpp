@@ -1,0 +1,106 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sixg {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), align_(header_.size(), Align::kRight) {
+  SIXG_ASSERT(!header_.empty(), "table needs at least one column");
+  align_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SIXG_ASSERT(cells.size() == header_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::integer(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  SIXG_ASSERT(column < align_.size(), "column out of range");
+  align_[column] = align;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = width[c] - cell.size();
+      out << ' ';
+      if (align_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cell;
+      if (align_[c] == Align::kLeft) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  auto emit_sep = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < width.size(); ++c)
+      out << std::string(width[c] + 2, '-') << '+';
+    out << '\n';
+  };
+
+  emit_sep();
+  emit_row(header_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return out.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      const bool needs_quote =
+          cells[c].find_first_of(",\"\n") != std::string::npos;
+      if (needs_quote) {
+        out << '"';
+        for (char ch : cells[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.str();
+}
+
+}  // namespace sixg

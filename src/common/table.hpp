@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sixg {
+
+/// Column-aligned text table used by the benchmark harnesses to print the
+/// rows the paper reports (figures as grids, tables as hop lists). Also
+/// serialises to CSV so results can be post-processed.
+class TextTable {
+ public:
+  enum class Align : std::uint8_t { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatting helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string integer(std::int64_t v);
+
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+}  // namespace sixg

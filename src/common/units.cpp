@@ -1,0 +1,43 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sixg {
+
+std::string DataSize::str() const {
+  char buf[64];
+  const double bytes = byte_count();
+  const double mag = std::fabs(bytes);
+  if (mag < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+  } else if (mag < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f KB", bytes / 1e3);
+  } else if (mag < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", bytes / 1e6);
+  } else if (mag < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", bytes / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f TB", bytes / 1e12);
+  }
+  return buf;
+}
+
+std::string DataRate::str() const {
+  char buf[64];
+  const double v = double(bps_);
+  if (v < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0f bps", v);
+  } else if (v < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f kbps", v / 1e3);
+  } else if (v < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f Mbps", v / 1e6);
+  } else if (v < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.2f Gbps", v / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f Tbps", v / 1e12);
+  }
+  return buf;
+}
+
+}  // namespace sixg

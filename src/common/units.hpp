@@ -1,0 +1,106 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace sixg {
+
+/// Quantity of data in bits. Strong type so byte/bit mixups cannot happen.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+
+  [[nodiscard]] static constexpr DataSize bits(std::int64_t b) {
+    return DataSize{b};
+  }
+  [[nodiscard]] static constexpr DataSize bytes(std::int64_t b) {
+    return DataSize{b * 8};
+  }
+  [[nodiscard]] static constexpr DataSize kilobytes(std::int64_t kb) {
+    return bytes(kb * 1000);
+  }
+  [[nodiscard]] static constexpr DataSize megabytes(std::int64_t mb) {
+    return bytes(mb * 1000 * 1000);
+  }
+  [[nodiscard]] static constexpr DataSize gigabytes(std::int64_t gb) {
+    return bytes(gb * 1000LL * 1000 * 1000);
+  }
+  [[nodiscard]] static constexpr DataSize terabytes(std::int64_t tb) {
+    return bytes(tb * 1000LL * 1000 * 1000 * 1000);
+  }
+
+  [[nodiscard]] constexpr std::int64_t bit_count() const { return bits_; }
+  [[nodiscard]] constexpr double byte_count() const {
+    return double(bits_) / 8.0;
+  }
+  [[nodiscard]] constexpr double megabytes_f() const {
+    return byte_count() / 1e6;
+  }
+
+  friend constexpr auto operator<=>(DataSize, DataSize) = default;
+  friend constexpr DataSize operator+(DataSize a, DataSize b) {
+    return DataSize{a.bits_ + b.bits_};
+  }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) {
+    return DataSize{a.bits_ - b.bits_};
+  }
+  constexpr DataSize& operator+=(DataSize o) {
+    bits_ += o.bits_;
+    return *this;
+  }
+  friend constexpr DataSize operator*(DataSize a, std::int64_t k) {
+    return DataSize{a.bits_ * k};
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit DataSize(std::int64_t b) : bits_(b) {}
+  std::int64_t bits_ = 0;
+};
+
+/// Data rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  [[nodiscard]] static constexpr DataRate bps(std::int64_t v) {
+    return DataRate{v};
+  }
+  [[nodiscard]] static constexpr DataRate kbps(std::int64_t v) {
+    return DataRate{v * 1000};
+  }
+  [[nodiscard]] static constexpr DataRate mbps(std::int64_t v) {
+    return DataRate{v * 1000 * 1000};
+  }
+  [[nodiscard]] static constexpr DataRate gbps(std::int64_t v) {
+    return DataRate{v * 1000LL * 1000 * 1000};
+  }
+  [[nodiscard]] static constexpr DataRate tbps(std::int64_t v) {
+    return DataRate{v * 1000LL * 1000 * 1000 * 1000};
+  }
+
+  [[nodiscard]] constexpr std::int64_t bits_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double mbps_f() const { return double(bps_) / 1e6; }
+  [[nodiscard]] constexpr double gbps_f() const { return double(bps_) / 1e9; }
+
+  friend constexpr auto operator<=>(DataRate, DataRate) = default;
+
+  /// Serialisation (transmission) delay of `size` at this rate.
+  [[nodiscard]] constexpr Duration transmission_time(DataSize size) const {
+    if (bps_ <= 0) return Duration{};
+    const double secs = double(size.bit_count()) / double(bps_);
+    return Duration::from_seconds_f(secs);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit DataRate(std::int64_t v) : bps_(v) {}
+  std::int64_t bps_ = 0;  // bits per second
+};
+
+}  // namespace sixg

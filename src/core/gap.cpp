@@ -1,0 +1,58 @@
+#include "core/gap.hpp"
+
+namespace sixg::core {
+
+GapAnalysis::GapAnalysis(const meas::GridReport& report,
+                         stats::Summary wired_baseline,
+                         const ApplicationRequirement& binding) {
+  const auto min_mean = report.min_mean();
+  const auto max_mean = report.max_mean();
+  findings_.min_cell_mean_ms = min_mean.value;
+  findings_.max_cell_mean_ms = max_mean.value;
+  findings_.min_cell_label = min_mean.label;
+  findings_.max_cell_label = max_mean.label;
+  findings_.wired_mean_ms = wired_baseline.mean();
+  findings_.mobile_over_wired =
+      findings_.wired_mean_ms > 0.0
+          ? report.mean_of_cell_means().mean() / findings_.wired_mean_ms
+          : 0.0;
+  findings_.requirement_ms = binding.user_perceived.ms();
+  // The paper compares the *best observed* mobile latency with the
+  // binding requirement: (61 - 16.6) / 16.6 = 267 % ~ "approximately 270 %".
+  findings_.requirement_excess_percent =
+      (findings_.min_cell_mean_ms - findings_.requirement_ms) /
+      findings_.requirement_ms * 100.0;
+  findings_.traversed_cells = report.traversed_count();
+  findings_.suppressed_cells = report.suppressed_count();
+}
+
+TextTable GapAnalysis::summary_table() const {
+  TextTable t{{"Finding", "Value", "Paper"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  t.set_align(2, TextTable::Align::kLeft);
+  const GapFindings& f = findings_;
+  t.add_row({"min cell mean RTL",
+             TextTable::num(f.min_cell_mean_ms, 1) + " ms @ " +
+                 f.min_cell_label,
+             "61 ms @ C1"});
+  t.add_row({"max cell mean RTL",
+             TextTable::num(f.max_cell_mean_ms, 1) + " ms @ " +
+                 f.max_cell_label,
+             "110 ms @ C3"});
+  t.add_row({"wired baseline mean",
+             TextTable::num(f.wired_mean_ms, 1) + " ms", "1-11 ms [3]"});
+  t.add_row({"mobile / wired ratio",
+             TextTable::num(f.mobile_over_wired, 1) + "x", "~7x"});
+  t.add_row({"binding requirement",
+             TextTable::num(f.requirement_ms, 1) + " ms",
+             "16.6 ms (60 FPS)"});
+  t.add_row({"requirement excess",
+             TextTable::num(f.requirement_excess_percent, 0) + " %",
+             "~270 %"});
+  t.add_row({"traversed cells", TextTable::integer(f.traversed_cells), "33"});
+  t.add_row({"suppressed cells (<10 samples)",
+             TextTable::integer(f.suppressed_cells), "a few (border)"});
+  return t;
+}
+
+}  // namespace sixg::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "common/table.hpp"
+#include "core/requirements.hpp"
+#include "measurement/grid_campaign.hpp"
+#include "stats/summary.hpp"
+
+namespace sixg::core {
+
+/// The paper's Section IV-C quantitative findings, computed from a
+/// campaign report instead of copied from the text.
+struct GapFindings {
+  double min_cell_mean_ms = 0.0;   ///< best reporting cell (paper: 61 ms)
+  double max_cell_mean_ms = 0.0;   ///< worst reporting cell (paper: 110 ms)
+  std::string min_cell_label;
+  std::string max_cell_label;
+  double wired_mean_ms = 0.0;      ///< wired population baseline
+  double mobile_over_wired = 0.0;  ///< paper: "a factor of seven"
+  /// Excess of the best-case mobile latency over the binding requirement
+  /// (paper: "approximately 270 %", vs the 16.6 ms frame interval).
+  double requirement_excess_percent = 0.0;
+  double requirement_ms = 0.0;
+  int traversed_cells = 0;
+  int suppressed_cells = 0;
+};
+
+/// Computes the findings and renders the Section IV-C summary table.
+class GapAnalysis {
+ public:
+  GapAnalysis(const meas::GridReport& report, stats::Summary wired_baseline,
+              const ApplicationRequirement& binding);
+
+  [[nodiscard]] const GapFindings& findings() const { return findings_; }
+
+  [[nodiscard]] TextTable summary_table() const;
+
+ private:
+  GapFindings findings_;
+};
+
+}  // namespace sixg::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "core/scenario.hpp"
+#include "core/whatif.hpp"
+
+namespace sixg::core {
+
+/// Renders the whole study — campaign grids, gap analysis, Table I,
+/// recommendation what-ifs — as one markdown document: the paper's
+/// Sections III-V regenerated from simulation in a single call. Used by
+/// the `full_report` example and by downstream pipelines that want the
+/// analysis as an artefact rather than stdout tables.
+class StudyReport {
+ public:
+  struct Options {
+    KlagenfurtStudy::Options study;
+    WhatIfEngine::Config whatif;
+    bool include_requirements = true;
+    bool include_campaign = true;
+    bool include_trace = true;
+    bool include_recommendations = true;
+  };
+
+  StudyReport() : StudyReport(Options{}) {}
+  explicit StudyReport(Options options) : options_(std::move(options)) {}
+
+  /// Build the document (runs the campaign and all what-ifs).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sixg::core

@@ -1,0 +1,86 @@
+#include "core/requirements.hpp"
+
+#include "common/assert.hpp"
+
+namespace sixg::core {
+
+GenerationProfile GenerationProfile::fiveg_claimed() {
+  return GenerationProfile{"5G (claimed)", Duration::from_millis_f(1.0),
+                           Duration::from_millis_f(4.0), DataRate::gbps(20),
+                           1.0e5};
+}
+
+GenerationProfile GenerationProfile::fiveg_measured_urban() {
+  // The paper's drive test: 61-110 ms mobile RTL in central Europe.
+  return GenerationProfile{"5G (measured urban)", Duration::from_millis_f(12),
+                           Duration::from_millis_f(61.0), DataRate::mbps(900),
+                           1.0e5};
+}
+
+GenerationProfile GenerationProfile::sixg_target() {
+  return GenerationProfile{"6G (target)", Duration::micros(100),
+                           Duration::from_millis_f(1.0), DataRate::tbps(1),
+                           1.0e7};
+}
+
+const RequirementsRegistry& RequirementsRegistry::paper_registry() {
+  static const RequirementsRegistry instance{{
+      {"AR gaming (60 FPS)", Duration::from_millis_f(20.0),
+       Duration::from_millis_f(16.6), DataRate::mbps(80), 0.999,
+       "Sec. III-A [12][13][15]"},
+      {"AR motion-to-photon", Duration::from_millis_f(20.0),
+       Duration::from_millis_f(20.0), DataRate::mbps(50), 0.999,
+       "Sec. III-A [12]"},
+      {"Autonomous vehicles", Duration::from_millis_f(5.0),
+       Duration::from_millis_f(5.0), DataRate::mbps(53), 0.9999,
+       "Sec. II-A/III-B [6]"},
+      {"Remote surgery", Duration::from_millis_f(10.0),
+       Duration::from_millis_f(10.0), DataRate::mbps(120), 0.99999,
+       "Sec. II-A [7]"},
+      {"Real-time robotics", Duration::from_millis_f(2.0),
+       Duration::from_millis_f(2.0), DataRate::mbps(25), 0.99999,
+       "Sec. II-A [5]"},
+      {"4K/8K streaming", Duration::from_millis_f(50.0),
+       Duration::from_millis_f(50.0), DataRate::mbps(400), 0.99,
+       "Sec. II-B [8]"},
+      {"IoT telemetry (MQTT/CoAP)", Duration::from_millis_f(100.0),
+       Duration::from_millis_f(100.0), DataRate::kbps(256), 0.95,
+       "Sec. III-A [14]"},
+  }};
+  return instance;
+}
+
+const ApplicationRequirement& RequirementsRegistry::by_name(
+    std::string_view name) const {
+  for (const auto& r : requirements_)
+    if (r.name == name) return r;
+  SIXG_ASSERT(false, "unknown application requirement");
+  return requirements_.front();
+}
+
+const ApplicationRequirement& RequirementsRegistry::binding_requirement()
+    const {
+  return by_name("AR gaming (60 FPS)");
+}
+
+TextTable RequirementsRegistry::feasibility_matrix(
+    const std::vector<GenerationProfile>& generations) const {
+  std::vector<std::string> header{"Application", "Budget"};
+  for (const auto& g : generations) header.push_back(g.name);
+  TextTable t{header};
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const auto& r : requirements_) {
+    std::vector<std::string> row{r.name, r.user_perceived.str()};
+    for (const auto& g : generations) {
+      const bool latency_ok = g.realistic_rtt <= r.user_perceived;
+      const bool rate_ok = g.peak_rate >= r.min_bandwidth;
+      row.push_back(latency_ok && rate_ok
+                        ? "yes"
+                        : (latency_ok ? "rate!" : "latency!"));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace sixg::core

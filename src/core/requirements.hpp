@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sixg::core {
+
+/// One application class with the communication requirements the paper
+/// derives in Sections II-III.
+struct ApplicationRequirement {
+  std::string name;
+  Duration max_rtt;            ///< end-to-end round-trip budget
+  Duration user_perceived;     ///< user-perceived latency target
+  DataRate min_bandwidth;
+  double min_reliability = 0.99;
+  std::string source;          ///< paper section / citation anchor
+};
+
+/// What a network generation claims to deliver (Section II).
+struct GenerationProfile {
+  std::string name;
+  Duration radio_latency;      ///< claimed radio one-way latency
+  Duration realistic_rtt;      ///< end-to-end RTT seen in deployments
+  DataRate peak_rate;
+  double devices_per_km2 = 0.0;
+
+  [[nodiscard]] static GenerationProfile fiveg_claimed();
+  [[nodiscard]] static GenerationProfile fiveg_measured_urban();
+  [[nodiscard]] static GenerationProfile sixg_target();
+};
+
+/// The requirements registry of Section III; the single source the gap
+/// analysis and the feasibility matrix draw from.
+class RequirementsRegistry {
+ public:
+  /// The paper's application set with its quantified budgets:
+  /// AR (20 ms motion-to-photon, 16.6 ms frame interval at 60 FPS),
+  /// autonomous vehicles, remote surgery, video, IoT telemetry.
+  [[nodiscard]] static const RequirementsRegistry& paper_registry();
+
+  [[nodiscard]] const std::vector<ApplicationRequirement>& all() const {
+    return requirements_;
+  }
+  [[nodiscard]] const ApplicationRequirement& by_name(
+      std::string_view name) const;
+
+  /// The binding constraint for edge AI in the paper's analysis: the
+  /// 60 FPS frame interval (16.6 ms) of interactive AR.
+  [[nodiscard]] const ApplicationRequirement& binding_requirement() const;
+
+  /// Feasibility matrix: every application x every generation profile,
+  /// marking which budgets hold under claimed vs realistic latencies.
+  [[nodiscard]] TextTable feasibility_matrix(
+      const std::vector<GenerationProfile>& generations) const;
+
+ private:
+  explicit RequirementsRegistry(
+      std::vector<ApplicationRequirement> requirements)
+      : requirements_(std::move(requirements)) {}
+  std::vector<ApplicationRequirement> requirements_;
+};
+
+}  // namespace sixg::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/scenario.hpp"
+#include "fivegcore/placement.hpp"
+
+namespace sixg::core {
+
+/// The three 6G recommendations of Section V.
+enum class Recommendation : std::uint8_t {
+  kLocalPeering,     ///< V-A: peer carrier and local networks at a local IX
+  kUpfIntegration,   ///< V-B: anchor the user plane (and services) at the edge
+  kCpfEnhancement,   ///< V-C: converged, context-aware control plane
+};
+
+[[nodiscard]] const char* to_string(Recommendation r);
+
+/// Before/after effect of one recommendation on the measured scenario.
+struct WhatIfResult {
+  Recommendation recommendation{};
+  std::string metric;      ///< what was measured
+  double before = 0.0;
+  double after = 0.0;
+  std::string unit;
+  [[nodiscard]] double improvement_factor() const {
+    return after > 0.0 ? before / after : 0.0;
+  }
+};
+
+/// Applies each Section V recommendation to the calibrated Klagenfurt
+/// scenario and quantifies the improvement — turning the paper's
+/// literature-derived claims into reproducible simulation outputs.
+class WhatIfEngine {
+ public:
+  struct Config {
+    std::uint32_t samples = 3000;
+    std::uint64_t seed = 0xbee5;
+    /// Radio conditions of the evaluation cell (moderate urban).
+    radio::CellConditions conditions{.load = 0.35,
+                                     .quality = 0.85,
+                                     .bler = 0.05,
+                                     .spike_rate = 0.01};
+  };
+
+  explicit WhatIfEngine(Config config) : config_(config) {}
+  WhatIfEngine() : WhatIfEngine(Config{}) {}
+
+  /// V-A: rebuild the topology with local breakout + local peering and
+  /// compare hops, routed distance and RTT of the UE -> probe path.
+  [[nodiscard]] std::vector<WhatIfResult> local_peering() const;
+
+  /// V-B: UPF placement sweep (delegates to UpfPlacementStudy) distilled
+  /// into the headline before/after numbers.
+  [[nodiscard]] std::vector<WhatIfResult> upf_integration() const;
+
+  /// V-C: control-plane enhancement — session setup (conventional vs
+  /// converged), QoS rule lookups (linear vs context-aware) and handover
+  /// interruption (core-anchored vs hybrid).
+  [[nodiscard]] std::vector<WhatIfResult> cpf_enhancement() const;
+
+  /// All three, rendered as the Section V summary table.
+  [[nodiscard]] TextTable report() const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace sixg::core

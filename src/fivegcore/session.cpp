@@ -1,0 +1,55 @@
+#include "fivegcore/session.hpp"
+
+#include "stats/distributions.hpp"
+
+namespace sixg::core5g {
+
+void SessionSetupModel::account(Breakdown& b, Duration leg, bool sbi,
+                                Rng& rng) const {
+  ++b.messages;
+  // Transport jitter: 10% lognormal spread around the leg latency.
+  const double jitter =
+      stats::Lognormal::from_median(1.0, 0.1).sample(rng);
+  const Duration transport = leg * jitter;
+  b.transport += transport;
+  b.processing += sites_.nf_processing;
+  if (sbi) b.overhead += sites_.sbi_overhead;
+  b.total += transport + sites_.nf_processing +
+             (sbi ? sites_.sbi_overhead : Duration{});
+}
+
+SessionSetupModel::Breakdown SessionSetupModel::conventional(Rng& rng) const {
+  Breakdown b;
+  // RRC connection setup: 3 messages UE<->gNB.
+  for (int i = 0; i < 3; ++i) account(b, sites_.ue_to_gnb, false, rng);
+  // Service request + security: 4 messages gNB<->AMF.
+  for (int i = 0; i < 4; ++i) account(b, sites_.gnb_to_amf, false, rng);
+  // PDU session establishment: AMF<->SMF SBI exchanges (4 messages).
+  for (int i = 0; i < 4; ++i) account(b, sites_.amf_to_smf, true, rng);
+  // N4 session establishment: SMF<->UPF (2 messages).
+  for (int i = 0; i < 2; ++i) account(b, sites_.smf_to_upf, false, rng);
+  // Downlink path: session accept back through AMF/gNB to the UE.
+  account(b, sites_.amf_to_smf, true, rng);
+  for (int i = 0; i < 2; ++i) account(b, sites_.gnb_to_amf, false, rng);
+  account(b, sites_.ue_to_gnb, false, rng);
+  return b;
+}
+
+SessionSetupModel::Breakdown SessionSetupModel::converged_edge(
+    Rng& rng) const {
+  Breakdown b;
+  // RRC setup is unchanged (radio is radio).
+  for (int i = 0; i < 3; ++i) account(b, sites_.ue_to_gnb, false, rng);
+  // One exchange with the edge controller that holds both mobility and
+  // session state (collocated with the gNB site): 2 messages.
+  const Duration edge_leg = Duration::micros(180);
+  for (int i = 0; i < 2; ++i) account(b, edge_leg, false, rng);
+  // N4 to the (edge) UPF: 2 messages over a local link.
+  const Duration local_n4 = Duration::micros(220);
+  for (int i = 0; i < 2; ++i) account(b, local_n4, false, rng);
+  // Accept back to the UE.
+  account(b, sites_.ue_to_gnb, false, rng);
+  return b;
+}
+
+}  // namespace sixg::core5g

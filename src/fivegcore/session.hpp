@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace sixg::core5g {
+
+/// Control-plane topology distances used by signalling procedures.
+struct ControlPlaneSites {
+  Duration ue_to_gnb = Duration::from_millis_f(4.0);   ///< RRC leg (radio)
+  Duration gnb_to_amf = Duration::from_millis_f(1.4);  ///< N2 transport
+  Duration amf_to_smf = Duration::micros(250);         ///< SBI, same site
+  Duration smf_to_upf = Duration::from_millis_f(1.4);  ///< N4 transport
+  /// Per-NF message processing (decode, state, policy check).
+  Duration nf_processing = Duration::micros(600);
+  /// SBI service-based interface overhead per message (HTTP/2 + JSON in
+  /// conventional cores; near zero for the optimised binary interfaces the
+  /// paper's Section V-C advocates).
+  Duration sbi_overhead = Duration::micros(450);
+};
+
+/// 3GPP-style PDU session establishment: the message ladder
+/// UE -> gNB -> AMF -> SMF -> UPF (N4) -> SMF -> AMF -> gNB -> UE,
+/// with policy/authentication exchanges at the AMF. The model counts
+/// messages and legs rather than bytes — what matters for the paper's
+/// control-plane argument is how leg latencies and per-message overheads
+/// accumulate, and how much of the ladder a converged 6G control plane
+/// (Section V-C, [38]) removes.
+class SessionSetupModel {
+ public:
+  explicit SessionSetupModel(ControlPlaneSites sites) : sites_(sites) {}
+
+  struct Breakdown {
+    Duration total;
+    std::uint32_t messages = 0;
+    Duration transport;   ///< sum of leg latencies
+    Duration processing;  ///< sum of NF processing
+    Duration overhead;    ///< sum of SBI overheads
+  };
+
+  /// Conventional 5G SA establishment (17 messages end to end: RRC setup,
+  /// registration/service request, PDU session establishment with N4).
+  [[nodiscard]] Breakdown conventional(Rng& rng) const;
+
+  /// Converged RAN-core control plane (the 6G framework of [38]): session
+  /// and mobility state consolidated at the edge — the AMF/SMF round trips
+  /// collapse into a single edge controller exchange plus one N4 leg.
+  [[nodiscard]] Breakdown converged_edge(Rng& rng) const;
+
+ private:
+  /// One signalling message over a leg: transport + jitter + processing.
+  void account(Breakdown& b, Duration leg, bool sbi, Rng& rng) const;
+  ControlPlaneSites sites_;
+};
+
+}  // namespace sixg::core5g

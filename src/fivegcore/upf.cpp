@@ -1,0 +1,59 @@
+#include "fivegcore/upf.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "stats/distributions.hpp"
+
+namespace sixg::core5g {
+
+Upf::Upf(Config config)
+    : config_(std::move(config)),
+      rules_(config_.table_mode, config_.hot_capacity) {
+  SIXG_ASSERT(config_.offered_load >= 0.0 && config_.offered_load < 1.0,
+              "offered load must be in [0,1)");
+}
+
+double Upf::max_throughput_mpps() const {
+  const double base = config_.host_throughput_mpps;
+  return config_.datapath == UpfDatapath::kSmartNic
+             ? base * config_.smartnic_throughput_factor
+             : base;
+}
+
+Duration Upf::mean_pipeline_latency() const {
+  const double factor = config_.datapath == UpfDatapath::kSmartNic
+                            ? 1.0 / config_.smartnic_latency_factor
+                            : 1.0;
+  return config_.host_processing_mean * factor;
+}
+
+Duration Upf::sample_packet_latency(std::uint64_t flow_key, Rng& rng) {
+  // Pipeline: lognormal around the datapath mean (heavy tail from cache
+  // misses / host interrupts, much lighter on the NIC).
+  const double mean_us = mean_pipeline_latency().us();
+  const double sigma =
+      config_.datapath == UpfDatapath::kSmartNic ? 0.18 : 0.45;
+  const stats::Lognormal pipeline =
+      stats::Lognormal::from_median(mean_us, sigma);
+
+  Duration d = Duration::from_micros_f(pipeline.sample(rng));
+
+  // Rule lookup (shared table model).
+  d += rules_.lookup(flow_key).latency;
+
+  // Queueing: M/M/1 on the packet pipeline at the configured load.
+  const double load = std::clamp(config_.offered_load, 0.0, 0.97);
+  const double service_us = 1.0 / max_throughput_mpps();  // us per packet
+  const double mean_wait_us = service_us * load / (1.0 - load);
+  d += Duration::from_micros_f(
+      stats::ShiftedExponential{0.0, mean_wait_us}.sample(rng));
+  return d;
+}
+
+void Upf::set_offered_load(double load) {
+  SIXG_ASSERT(load >= 0.0 && load < 1.0, "offered load must be in [0,1)");
+  config_.offered_load = load;
+}
+
+}  // namespace sixg::core5g

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "fivegcore/rules.hpp"
+
+namespace sixg::core5g {
+
+/// Where the UPF's packet pipeline executes.
+enum class UpfDatapath : std::uint8_t {
+  kHostCpu,   ///< DPDK-style user-space pipeline through host memory/PCIe
+  kSmartNic,  ///< on-NIC pipeline (Jain et al. [32]): bypasses host memory
+              ///< and the PCIe bus — 2x throughput, 3.75x lower latency
+};
+
+/// User Plane Function: GTP-U termination, PDR/QER lookup, forwarding.
+///
+/// The latency/throughput constants follow the relative factors the paper
+/// cites: a SmartNIC datapath doubles throughput and cuts per-packet
+/// processing latency by 3.75x versus the host path [32][33].
+class Upf {
+ public:
+  struct Config {
+    std::string name = "upf";
+    UpfDatapath datapath = UpfDatapath::kHostCpu;
+    RuleTable::Mode table_mode = RuleTable::Mode::kLinearScan;
+    std::uint32_t hot_capacity = 64;
+    /// Host-path baseline constants.
+    Duration host_processing_mean = Duration::micros(9);
+    double host_throughput_mpps = 3.1;
+    /// Relative SmartNIC factors from [32]/[33].
+    double smartnic_latency_factor = 3.75;
+    double smartnic_throughput_factor = 2.0;
+    /// Current offered load as a fraction of capacity (queueing driver).
+    double offered_load = 0.4;
+  };
+
+  explicit Upf(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] RuleTable& rules() { return rules_; }
+  [[nodiscard]] const RuleTable& rules() const { return rules_; }
+
+  /// Packets per second this instance can sustain.
+  [[nodiscard]] double max_throughput_mpps() const;
+
+  /// Sample the full per-packet latency for `flow_key`: GTP handling +
+  /// rule lookup + pipeline + load-dependent queueing.
+  [[nodiscard]] Duration sample_packet_latency(std::uint64_t flow_key,
+                                               Rng& rng);
+
+  /// Deterministic mean pipeline latency (excludes rule-table position
+  /// effects); used by placement planners.
+  [[nodiscard]] Duration mean_pipeline_latency() const;
+
+  /// Change offered load (e.g. from a placement study sweep).
+  void set_offered_load(double load);
+
+ private:
+  Config config_;
+  RuleTable rules_;
+};
+
+}  // namespace sixg::core5g

@@ -1,0 +1,41 @@
+#include "geo/gazetteer.hpp"
+
+#include "common/assert.hpp"
+
+namespace sixg::geo {
+
+const Gazetteer& Gazetteer::central_europe() {
+  static const Gazetteer instance{{
+      {"Klagenfurt", "AT", {46.6247, 14.3053}},
+      {"Vienna", "AT", {48.2082, 16.3738}},
+      {"Graz", "AT", {47.0707, 15.4395}},
+      {"Prague", "CZ", {50.0755, 14.4378}},
+      {"Bucharest", "RO", {44.4268, 26.1025}},
+      {"Budapest", "HU", {47.4979, 19.0402}},
+      {"Munich", "DE", {48.1351, 11.5820}},
+      {"Frankfurt", "DE", {50.1109, 8.6821}},
+      {"Zurich", "CH", {47.3769, 8.5417}},
+      {"Ljubljana", "SI", {46.0569, 14.5058}},
+      {"Skopje", "MK", {41.9981, 21.4254}},
+      {"Zagreb", "HR", {45.8150, 15.9819}},
+      {"Bratislava", "SK", {48.1486, 17.1077}},
+      {"Warsaw", "PL", {52.2297, 21.0122}},
+      {"Milan", "IT", {45.4642, 9.1900}},
+  }};
+  return instance;
+}
+
+std::optional<City> Gazetteer::find(std::string_view name) const {
+  for (const City& c : cities_)
+    if (c.name == name) return c;
+  return std::nullopt;
+}
+
+double Gazetteer::distance_km(std::string_view a, std::string_view b) const {
+  const auto ca = find(a);
+  const auto cb = find(b);
+  SIXG_ASSERT(ca.has_value() && cb.has_value(), "unknown city name");
+  return geo::distance_km(ca->position, cb->position);
+}
+
+}  // namespace sixg::geo

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coords.hpp"
+
+namespace sixg::geo {
+
+/// A named place used to embed topology nodes geographically.
+struct City {
+  std::string name;
+  std::string country_code;  // ISO 3166-1 alpha-2
+  LatLon position;
+};
+
+/// Static gazetteer of the central/eastern European cities appearing in the
+/// paper's data trace (Fig. 4) plus a few extras for extended topologies.
+class Gazetteer {
+ public:
+  /// The default city set. Klagenfurt, Vienna, Prague, Bucharest are the
+  /// exact waypoints of the paper's inefficient route.
+  [[nodiscard]] static const Gazetteer& central_europe();
+
+  [[nodiscard]] std::optional<City> find(std::string_view name) const;
+  [[nodiscard]] const std::vector<City>& cities() const { return cities_; }
+
+  /// Great-circle distance between two named cities, km. Aborts if either
+  /// name is unknown (programming error in scenario construction).
+  [[nodiscard]] double distance_km(std::string_view a,
+                                   std::string_view b) const;
+
+ private:
+  explicit Gazetteer(std::vector<City> cities) : cities_(std::move(cities)) {}
+  std::vector<City> cities_;
+};
+
+}  // namespace sixg::geo

@@ -1,0 +1,93 @@
+#include "measurement/atlas.hpp"
+
+#include "common/assert.hpp"
+
+namespace sixg::meas {
+
+AtlasFleet::AtlasFleet(const topo::Network& net) : net_(&net) {}
+
+ProbeId AtlasFleet::add_probe(std::string name, topo::NodeId node) {
+  const ProbeId id{std::uint32_t(probes_.size())};
+  probes_.push_back(Probe{std::move(name), node, false, nullptr, {}});
+  return id;
+}
+
+ProbeId AtlasFleet::add_mobile_probe(std::string name, topo::NodeId node,
+                                     const radio::RadioLinkModel& radio,
+                                     radio::CellConditions conditions) {
+  const ProbeId id{std::uint32_t(probes_.size())};
+  probes_.push_back(Probe{std::move(name), node, true, &radio, conditions});
+  return id;
+}
+
+void AtlasFleet::schedule_ping(ProbeId probe, topo::NodeId target,
+                               const ScheduleOptions& options) {
+  SIXG_ASSERT(probe.value() < probes_.size(), "unknown probe");
+  SIXG_ASSERT(options.period > Duration{}, "period must be positive");
+  schedules_.push_back(Schedule{probe, target, options});
+}
+
+std::vector<AtlasFleet::ProbeResult> AtlasFleet::run(Duration duration,
+                                                     std::uint64_t seed) {
+  netsim::Simulator sim{seed};
+  std::vector<ProbeResult> results(probes_.size());
+  for (std::size_t i = 0; i < probes_.size(); ++i)
+    results[i].probe_name = probes_[i].name;
+
+  // Build the per-schedule measurement closures. Paths are resolved once
+  // (routing is static during a campaign) and samples draw from the
+  // simulator's RNG so the whole run is a pure function of the seed.
+  std::vector<PingMeasurement> pings;
+  pings.reserve(schedules_.size());
+  for (const Schedule& schedule : schedules_) {
+    const Probe& probe = probes_[schedule.probe.value()];
+    if (probe.mobile) {
+      pings.emplace_back(*net_, probe.node, schedule.target, *probe.radio,
+                         probe.conditions);
+    } else {
+      pings.emplace_back(*net_, probe.node, schedule.target);
+    }
+    SIXG_ASSERT(pings.back().reachable(), "target unreachable from probe");
+  }
+
+  // Each schedule is a self-rescheduling task phase-locked to its start
+  // offset. run_until() discards firings beyond the horizon.
+  struct Task : std::enable_shared_from_this<Task> {
+    netsim::Simulator* sim = nullptr;
+    const PingMeasurement* ping = nullptr;
+    ProbeResult* result = nullptr;
+    Duration period;
+    double loss = 0.0;
+
+    void fire() {
+      ++result->scheduled;
+      if (loss > 0.0 && sim->rng().chance(loss)) {
+        ++result->lost;
+      } else {
+        result->rtt_ms.add(ping->sample_ms(sim->rng()));
+      }
+      sim->schedule_after(period,
+                          [self = shared_from_this()] { self->fire(); });
+    }
+  };
+
+  for (std::size_t s = 0; s < schedules_.size(); ++s) {
+    const Schedule& schedule = schedules_[s];
+    auto task = std::make_shared<Task>();
+    task->sim = &sim;
+    task->ping = &pings[s];
+    task->result = &results[schedule.probe.value()];
+    task->period = schedule.options.period;
+    task->loss = schedule.options.loss_rate;
+    const Duration offset =
+        schedule.options.spread_start
+            ? schedule.options.period * sim.rng().uniform()
+            : Duration{};
+    sim.schedule_after(offset, [task] { task->fire(); });
+  }
+
+  sim.run_until(TimePoint{} + duration);
+  return results;
+}
+
+}  // namespace sixg::meas

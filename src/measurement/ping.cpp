@@ -1,0 +1,35 @@
+#include "measurement/ping.hpp"
+
+namespace sixg::meas {
+
+PingMeasurement::PingMeasurement(const topo::Network& net, topo::NodeId src,
+                                 topo::NodeId dst)
+    : net_(&net), path_(net.find_path(src, dst)) {}
+
+PingMeasurement::PingMeasurement(const topo::Network& net, topo::NodeId src,
+                                 topo::NodeId dst,
+                                 const radio::RadioLinkModel& radio,
+                                 radio::CellConditions conditions)
+    : net_(&net),
+      path_(net.find_path(src, dst)),
+      radio_(&radio),
+      conditions_(conditions) {}
+
+double PingMeasurement::sample_ms(Rng& rng) const {
+  Duration rtt = net_->sample_rtt(path_, rng);
+  if (radio_ != nullptr) rtt += radio_->sample_rtt(conditions_, rng);
+  return rtt.ms();
+}
+
+PingMeasurement::Result PingMeasurement::run(std::uint32_t count,
+                                             Rng& rng) const {
+  Result result;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const double ms = sample_ms(rng);
+    result.summary_ms.add(ms);
+    result.quantiles_ms.add(ms);
+  }
+  return result;
+}
+
+}  // namespace sixg::meas

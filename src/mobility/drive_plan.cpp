@@ -1,0 +1,89 @@
+#include "mobility/drive_plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace sixg::mobility {
+
+DrivePlan DrivePlan::manhattan(const geo::SectorGrid& grid,
+                               const geo::PopulationRaster& pop,
+                               const Params& params, std::uint64_t seed) {
+  DrivePlan plan;
+  Rng rng{seed};
+
+  // Start at the densest drivable cell (the city core — where the drives
+  // in the paper naturally begin).
+  geo::CellIndex current{0, 0};
+  double best = -1.0;
+  for (const geo::CellIndex c : grid.all_cells()) {
+    if (pop.density(c) > best) {
+      best = pop.density(c);
+      current = c;
+    }
+  }
+  SIXG_ASSERT(best >= params.min_drivable_density,
+              "no drivable cell in the sector");
+
+  TimePoint clock;
+  const TimePoint end = TimePoint{} + params.total_duration;
+  while (clock < end) {
+    // Dwell: cross the cell at urban speed, possibly held up by lights.
+    const double speed =
+        rng.uniform(params.speed_kmh_min, params.speed_kmh_max);
+    Duration dwell =
+        Duration::from_seconds_f(grid.cell_size_km() / speed * 3600.0);
+    if (rng.chance(params.stop_probability)) {
+      const double extra = rng.uniform(double(params.stop_min.ns()),
+                                       double(params.stop_max.ns()));
+      dwell += Duration::nanos(std::int64_t(extra));
+    }
+    plan.visits_.push_back(CellVisit{current, clock, dwell});
+    clock = clock + dwell;
+
+    // Pick the next cell among Manhattan neighbours, weighted by density.
+    static constexpr std::array<std::pair<int, int>, 4> kMoves{
+        {{-1, 0}, {1, 0}, {0, -1}, {0, 1}}};
+    std::array<double, 4> weight{};
+    double total_weight = 0.0;
+    for (std::size_t m = 0; m < kMoves.size(); ++m) {
+      const geo::CellIndex next{current.row + kMoves[m].first,
+                                current.col + kMoves[m].second};
+      if (!grid.contains(next)) continue;
+      const double d = pop.density(next);
+      if (d < params.min_drivable_density) continue;
+      weight[m] = std::pow(d, params.density_bias);
+      total_weight += weight[m];
+    }
+    if (total_weight <= 0.0) break;  // boxed in (cannot happen on real maps)
+    double pick = rng.uniform() * total_weight;
+    for (std::size_t m = 0; m < kMoves.size(); ++m) {
+      pick -= weight[m];
+      if (pick <= 0.0 && weight[m] > 0.0) {
+        current = geo::CellIndex{current.row + kMoves[m].first,
+                                 current.col + kMoves[m].second};
+        break;
+      }
+    }
+  }
+  plan.total_ = clock - TimePoint{};
+  return plan;
+}
+
+std::vector<Duration> DrivePlan::dwell_per_cell(
+    const geo::SectorGrid& grid) const {
+  std::vector<Duration> dwell(std::size_t(grid.cell_count()));
+  for (const CellVisit& v : visits_)
+    dwell[std::size_t(grid.flat(v.cell))] += v.dwell;
+  return dwell;
+}
+
+int DrivePlan::traversed_cell_count(const geo::SectorGrid& grid) const {
+  std::vector<bool> seen(std::size_t(grid.cell_count()), false);
+  for (const CellVisit& v : visits_) seen[std::size_t(grid.flat(v.cell))] = true;
+  return int(std::count(seen.begin(), seen.end(), true));
+}
+
+}  // namespace sixg::mobility

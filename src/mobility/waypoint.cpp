@@ -1,0 +1,48 @@
+#include "mobility/waypoint.hpp"
+
+#include "common/assert.hpp"
+
+namespace sixg::mobility {
+
+RandomWaypoint::RandomWaypoint(const Params& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  SIXG_ASSERT(params.area_width_km > 0 && params.area_height_km > 0,
+              "area must be non-empty");
+  from_ = point_in_area(rng_.uniform(), rng_.uniform());
+  to_ = from_;
+  leg_duration_ = Duration{};
+  pause_ = Duration{};
+  pick_next_leg();
+}
+
+geo::LatLon RandomWaypoint::point_in_area(double frac_east,
+                                          double frac_south) const {
+  const geo::LatLon down = geo::offset(
+      params_.area_origin, params_.area_height_km * frac_south, 180.0);
+  return geo::offset(down, params_.area_width_km * frac_east, 90.0);
+}
+
+void RandomWaypoint::pick_next_leg() {
+  from_ = to_;
+  to_ = point_in_area(rng_.uniform(), rng_.uniform());
+  const double dist = geo::distance_km(from_, to_);
+  const double speed =
+      rng_.uniform(params_.speed_kmh_min, params_.speed_kmh_max);
+  leg_start_ = leg_start_ + leg_duration_ + pause_;
+  leg_duration_ = Duration::from_seconds_f(dist / speed * 3600.0);
+  pause_ = params_.pause_max * rng_.uniform();
+}
+
+geo::LatLon RandomWaypoint::position_at(TimePoint t) {
+  SIXG_ASSERT(t >= leg_start_, "position_at must be called monotonically");
+  while (t > leg_start_ + leg_duration_ + pause_) pick_next_leg();
+  const Duration into = t - leg_start_;
+  if (into >= leg_duration_) return to_;  // pausing at the waypoint
+  const double frac =
+      leg_duration_.is_zero() ? 1.0 : double(into.ns()) / double(leg_duration_.ns());
+  const double dist = geo::distance_km(from_, to_) * frac;
+  if (dist <= 0.0) return from_;
+  return geo::offset(from_, dist, geo::bearing_deg(from_, to_));
+}
+
+}  // namespace sixg::mobility

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "geo/coords.hpp"
+#include "geo/grid.hpp"
+
+namespace sixg::mobility {
+
+/// Classic random-waypoint mobility in continuous coordinates, for
+/// scenarios that need positions rather than cell occupancy (e.g. the AR
+/// gaming example where two players move inside a play area).
+class RandomWaypoint {
+ public:
+  struct Params {
+    geo::LatLon area_origin;      ///< NW corner of the movement area
+    double area_width_km = 1.0;   ///< extent east
+    double area_height_km = 1.0;  ///< extent south
+    double speed_kmh_min = 1.0;
+    double speed_kmh_max = 5.0;
+    Duration pause_max = Duration::seconds(5);
+  };
+
+  RandomWaypoint(const Params& params, std::uint64_t seed);
+
+  /// Advance the model to `t` (monotonically increasing calls only) and
+  /// return the position.
+  [[nodiscard]] geo::LatLon position_at(TimePoint t);
+
+ private:
+  void pick_next_leg();
+  [[nodiscard]] geo::LatLon point_in_area(double frac_east,
+                                          double frac_south) const;
+
+  Params params_;
+  Rng rng_;
+  TimePoint leg_start_;
+  Duration leg_duration_;
+  Duration pause_;
+  geo::LatLon from_;
+  geo::LatLon to_;
+};
+
+}  // namespace sixg::mobility

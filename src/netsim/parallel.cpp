@@ -1,0 +1,35 @@
+#include "netsim/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace sixg::netsim {
+
+ParallelRunner::ParallelRunner(unsigned threads)
+    : threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())) {}
+
+void ParallelRunner::run(std::size_t job_count,
+                         const std::function<void(std::size_t)>& job) const {
+  if (job_count == 0) return;
+  if (threads_ == 1 || job_count == 1) {
+    for (std::size_t i = 0; i < job_count; ++i) job(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_count) return;
+      job(i);
+    }
+  };
+  const unsigned n = unsigned(std::min<std::size_t>(threads_, job_count));
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (unsigned t = 0; t + 1 < n; ++t) pool.emplace_back(worker);
+  worker();  // calling thread participates
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace sixg::netsim

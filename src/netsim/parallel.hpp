@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sixg::netsim {
+
+/// Executes N independent jobs on a fixed pool of worker threads.
+///
+/// This is the HPC entry point of the toolkit: measurement campaigns and
+/// Monte-Carlo sweeps decompose into independent replications (one
+/// Simulator each, seeded via derive_seed), so the natural parallelisation
+/// is a static job list with an atomic cursor — no locks on the hot path,
+/// no shared mutable simulation state, results merged by the caller
+/// (stats::Summary::merge is associative).
+class ParallelRunner {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ParallelRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned thread_count() const { return threads_; }
+
+  /// Run job(i) for i in [0, job_count). Blocks until all jobs finish.
+  /// Jobs must not throw; they run on worker threads.
+  void run(std::size_t job_count,
+           const std::function<void(std::size_t)>& job) const;
+
+  /// Map i -> R over [0, job_count) in parallel; results land at their own
+  /// index so output order is deterministic regardless of scheduling.
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(
+      std::size_t job_count,
+      const std::function<R(std::size_t)>& job) const {
+    std::vector<R> results(job_count);
+    run(job_count, [&](std::size_t i) { results[i] = job(i); });
+    return results;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace sixg::netsim

@@ -1,0 +1,78 @@
+#include "netsim/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace sixg::netsim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::schedule_at(TimePoint at, Action action) {
+  SIXG_ASSERT(at >= now_, "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(Duration delay, Action action) {
+  SIXG_ASSERT(!delay.is_negative(), "delay must be non-negative");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+namespace {
+/// Self-rescheduling closure for periodic events; keeps itself alive via
+/// shared_from_this while armed and stops re-arming once cancelled.
+struct Trampoline : std::enable_shared_from_this<Trampoline> {
+  Simulator* sim = nullptr;
+  std::shared_ptr<bool> alive;
+  Simulator::Action action;
+  Duration period;
+
+  void fire() {
+    if (!*alive) return;
+    action();
+    if (!*alive || sim->stopped()) return;
+    sim->schedule_after(period, [self = shared_from_this()] { self->fire(); });
+  }
+};
+}  // namespace
+
+Simulator::PeriodicHandle Simulator::schedule_periodic(Duration period,
+                                                       Action action) {
+  SIXG_ASSERT(period > Duration{}, "period must be positive");
+  auto alive = std::make_shared<bool>(true);
+  auto tramp = std::make_shared<Trampoline>();
+  tramp->sim = this;
+  tramp->alive = alive;
+  tramp->action = std::move(action);
+  tramp->period = period;
+  schedule_after(period, [tramp] { tramp->fire(); });
+  return PeriodicHandle{alive};
+}
+
+void Simulator::run() {
+  while (!queue_.empty() && !stopped_) {
+    // top() is const&, but Event has no const members and we pop right
+    // after moving, so the move cannot corrupt heap ordering.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    SIXG_ASSERT(ev.when >= now_, "event queue ordering violated");
+    now_ = ev.when;
+    ++processed_;
+    ev.action();
+  }
+}
+
+void Simulator::run_until(TimePoint horizon) {
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().when > horizon) break;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++processed_;
+    ev.action();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+}  // namespace sixg::netsim

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace sixg::netsim {
+
+/// Discrete-event simulator kernel.
+///
+/// Single-threaded by design: one Simulator instance owns one event
+/// timeline. Parallelism happens one level up (ParallelRunner executes
+/// independent replications on worker threads, each with its own
+/// Simulator), which keeps the kernel free of synchronisation and the
+/// replications bit-for-bit deterministic.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Kernel-owned random generator. Model code should draw from this (or
+  /// from generators split() off it) so a run is a pure function of seed.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule `action` at absolute time `at` (must not precede now()).
+  void schedule_at(TimePoint at, Action action);
+
+  /// Schedule `action` after `delay` (must be non-negative).
+  void schedule_after(Duration delay, Action action);
+
+  /// Schedule `action` every `period`, starting at now() + period, until
+  /// the simulation stops or the returned handle is cancelled.
+  class PeriodicHandle;
+  PeriodicHandle schedule_periodic(Duration period, Action action);
+
+  /// Run until the event queue drains or `stop()` is called.
+  void run();
+
+  /// Run, but discard events beyond `horizon` once reached.
+  void run_until(TimePoint horizon);
+
+  /// Request termination from inside an action; the current action
+  /// completes, then run() returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break: equal-time events run in
+                        // scheduling order, which determinism requires
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+/// Cancellation token for periodic schedules. Cancel is lazy: the next
+/// firing observes the flag and does not re-arm.
+class Simulator::PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool active() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit PeriodicHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace sixg::netsim

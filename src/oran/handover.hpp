@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/time.hpp"
+#include "oran/ric.hpp"
+#include "stats/summary.hpp"
+
+namespace sixg::oran {
+
+/// How mobility (handover) signalling is organised.
+enum class HandoverArchitecture : std::uint8_t {
+  kCoreAnchored,   ///< 5G baseline: RAN measurement -> AMF/SMF in the core
+                   ///< -> path switch; every leg crosses the backhaul
+  kRicConverged,   ///< Section V-C / [38]: session + mobility state at the
+                   ///< Near-RT RIC on the edge; core only notified async
+  kHybrid,         ///< break-before-make handled at gNB, policy at RIC
+};
+
+[[nodiscard]] const char* to_string(HandoverArchitecture a);
+
+/// Latency model of one handover's user-plane interruption, and of
+/// control-plane saturation when many UEs hand over at once (drive-test
+/// conditions: a tram of phones crossing a cell edge).
+class HandoverModel {
+ public:
+  struct Config {
+    Duration measurement_report = Duration::from_millis_f(2.0);
+    Duration backhaul_to_core = Duration::from_millis_f(6.5);  ///< one way
+    Duration core_processing = Duration::from_millis_f(3.0);   ///< AMF+SMF
+    Duration path_switch = Duration::from_millis_f(4.0);
+    Duration gnb_processing = Duration::from_millis_f(1.2);
+    Duration rach_access = Duration::from_millis_f(2.5);
+    /// Control events the core (or RIC) processes per second.
+    double core_capacity_per_sec = 1500.0;
+    double ric_capacity_per_sec = 3000.0;
+  };
+
+  explicit HandoverModel(Config config) : config_(config) {}
+  HandoverModel() : HandoverModel(Config{}) {}
+
+  /// Sample the user-plane interruption of one handover at the given
+  /// handover rate (events/s across the control plane).
+  [[nodiscard]] Duration sample_interruption(HandoverArchitecture arch,
+                                             double handover_rate_per_sec,
+                                             Rng& rng) const;
+
+  /// Summary over `count` handovers (the storm study's primitive).
+  [[nodiscard]] stats::Summary storm(HandoverArchitecture arch,
+                                     double handover_rate_per_sec,
+                                     std::uint32_t count, Rng& rng) const;
+
+  /// Sweep rates x architectures and render the comparison table.
+  [[nodiscard]] TextTable storm_table(const std::vector<double>& rates,
+                                      std::uint32_t count,
+                                      std::uint64_t seed) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace sixg::oran

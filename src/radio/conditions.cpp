@@ -1,0 +1,79 @@
+#include "radio/conditions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace sixg::radio {
+
+RadioEnvironmentMap::RadioEnvironmentMap(
+    const geo::SectorGrid& grid, const geo::PopulationRaster& population,
+    std::uint64_t seed)
+    : grid_(&grid) {
+  cells_.resize(std::size_t(grid.cell_count()));
+  Rng rng{seed};
+  for (const geo::CellIndex c : grid.all_cells()) {
+    const double density = population.density(c);
+    // Busier cells: load tracks population, saturating around 0.8.
+    const double density_norm = std::min(1.0, density / 4000.0);
+    CellConditions cond;
+    // Generated cells stay strictly inside the anchor extremes: pinned C3
+    // must remain the most loaded cell and pinned E5 the most bursty.
+    cond.load = std::clamp(0.20 + 0.50 * density_norm +
+                               0.20 * (rng.uniform() - 0.5),
+                           0.10, 0.68);
+    cond.quality =
+        std::clamp(0.95 - 0.35 * density_norm + 0.25 * (rng.uniform() - 0.5),
+                   0.45, 0.98);
+    cond.bler = std::clamp(0.05 + 0.18 * (1.0 - cond.quality) +
+                               0.10 * rng.uniform(),
+                           0.01, 0.28);
+    cond.spike_rate = std::clamp(0.01 + 0.05 * cond.load * rng.uniform(),
+                                 0.005, 0.035);
+    cells_[std::size_t(grid.flat(c))] = cond;
+  }
+}
+
+RadioEnvironmentMap RadioEnvironmentMap::klagenfurt(
+    const geo::SectorGrid& grid, const geo::PopulationRaster& population) {
+  RadioEnvironmentMap map{grid, population, /*seed=*/0x5ce11a};
+
+  // Anchor cells observed in the paper's Figures 2 and 3. These pins are
+  // the calibration interface between our synthetic drive test and the
+  // published one (documented in DESIGN.md).
+  const auto pin = [&](const char* label, CellConditions cond) {
+    const auto idx = grid.parse_label(label);
+    SIXG_ASSERT(idx.has_value(), "bad anchor label");
+    map.set(*idx, cond);
+  };
+  // C1: best mean RTL (61 ms): light load, clean link.
+  pin("C1", CellConditions{.load = 0.22, .quality = 0.95, .bler = 0.05,
+                           .spike_rate = 0.008});
+  // C3: worst mean RTL (110 ms): congested cell near the arterial road.
+  pin("C3", CellConditions{.load = 0.74, .quality = 0.45, .bler = 0.30,
+                           .spike_rate = 0.02});
+  // B3: most stable (sd 1.8 ms): lightly loaded small cell on a steady
+  // low-MCS link — slowish but almost deterministic, spike-free.
+  pin("B3", CellConditions{.load = 0.28, .quality = 0.55, .bler = 0.003,
+                           .spike_rate = 0.0002});
+  // E5: most bursty (sd 46.4 ms): moderate mean but frequent interference
+  // spikes and handover transients.
+  pin("E5", CellConditions{.load = 0.62, .quality = 0.55, .bler = 0.22,
+                           .spike_rate = 0.12});
+  return map;
+}
+
+const CellConditions& RadioEnvironmentMap::at(geo::CellIndex c) const {
+  SIXG_ASSERT(grid_->contains(c), "cell outside grid");
+  return cells_[std::size_t(grid_->flat(c))];
+}
+
+void RadioEnvironmentMap::set(geo::CellIndex c,
+                              const CellConditions& conditions) {
+  SIXG_ASSERT(grid_->contains(c), "cell outside grid");
+  cells_[std::size_t(grid_->flat(c))] = conditions;
+}
+
+}  // namespace sixg::radio

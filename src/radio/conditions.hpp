@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "geo/population.hpp"
+
+namespace sixg::radio {
+
+/// Radio conditions experienced by a UE somewhere inside one grid cell.
+/// These four knobs drive the latency model; they subsume cell load,
+/// signal quality (RSRP/SINR -> MCS), interference bursts and backhaul
+/// congestion.
+struct CellConditions {
+  double load = 0.3;        ///< PRB utilisation of the serving cell, [0,1)
+  double quality = 0.8;     ///< normalised link quality, (0,1]
+  double bler = 0.1;        ///< first-transmission block error rate, [0,1)
+  double spike_rate = 0.02; ///< probability of an interference/handover spike
+};
+
+/// Deterministic per-cell radio conditions over the evaluation sector.
+///
+/// Substitutes for the drive-test radio environment the paper measured.
+/// The field is synthesised from the population raster (denser cells carry
+/// more load) plus smooth deterministic texture, with the paper's four
+/// anchor cells pinned explicitly:
+///   C1 — best mean RTL (61 ms)     C3 — worst mean RTL (110 ms)
+///   B3 — most stable (sd 1.8 ms)   E5 — most bursty  (sd 46.4 ms)
+class RadioEnvironmentMap {
+ public:
+  RadioEnvironmentMap(const geo::SectorGrid& grid,
+                      const geo::PopulationRaster& population,
+                      std::uint64_t seed);
+
+  /// The calibrated Klagenfurt sector map used by all paper benches.
+  [[nodiscard]] static RadioEnvironmentMap klagenfurt(
+      const geo::SectorGrid& grid, const geo::PopulationRaster& population);
+
+  [[nodiscard]] const CellConditions& at(geo::CellIndex c) const;
+
+  /// Override one cell (used for anchoring and for what-if studies).
+  void set(geo::CellIndex c, const CellConditions& conditions);
+
+ private:
+  const geo::SectorGrid* grid_;
+  std::vector<CellConditions> cells_;
+};
+
+}  // namespace sixg::radio

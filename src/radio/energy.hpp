@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "radio/profile.hpp"
+
+namespace sixg::radio {
+
+/// Energy-efficient network management — the paper's third named
+/// future-work direction (Section VI). A gNB power model after the
+/// standard base-station decomposition: static (always-on) power plus a
+/// load-proportional PA term, with optional micro-sleep in empty slots
+/// (the 6G lever: with 20 us slots, idle gaps are actually sleepable).
+class GnbEnergyModel {
+ public:
+  struct Params {
+    std::string name = "gNB";
+    double static_watts = 780.0;       ///< rectifier, baseband, fans
+    double max_pa_watts = 1100.0;      ///< PA at full PRB utilisation
+    double sleep_watts = 120.0;        ///< deep micro-sleep floor
+    bool micro_sleep = false;          ///< sleep in unused slots?
+    double sleep_entry_overhead = 0.08;  ///< fraction of idle unusable
+    DataRate cell_peak_rate = DataRate::gbps(1);
+  };
+
+  explicit GnbEnergyModel(Params params) : params_(params) {}
+
+  /// Average power draw at a given PRB load (0..1).
+  [[nodiscard]] double average_watts(double load) const;
+
+  /// Energy per delivered bit at the given load, in nanojoule/bit.
+  [[nodiscard]] double nj_per_bit(double load) const;
+
+  /// Daily energy for a diurnal load profile, kWh.
+  [[nodiscard]] double daily_kwh(double mean_load,
+                                 double peak_to_trough = 3.0) const;
+
+  /// 5G-vs-6G comparison table across a load sweep.
+  [[nodiscard]] static TextTable comparison_table();
+
+ private:
+  Params params_;
+};
+
+}  // namespace sixg::radio

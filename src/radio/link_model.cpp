@@ -1,0 +1,107 @@
+#include "radio/link_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace sixg::radio {
+
+namespace {
+/// Number of HARQ retransmissions: geometric with per-attempt BLER. HARQ
+/// gives up after 4 retransmissions (RLC would take over; we fold that
+/// residual into the last retx).
+int sample_harq_retx(double bler, Rng& rng) {
+  int retx = 0;
+  while (retx < 4 && rng.chance(bler)) ++retx;
+  return retx;
+}
+}  // namespace
+
+Duration RadioLinkModel::common_direction(const CellConditions& c, Rng& rng,
+                                          bool uplink) const {
+  Duration d;
+
+  if (uplink) {
+    // Wait for a scheduling-request opportunity, then for the grant.
+    if (!profile_.sr_period.is_zero())
+      d += profile_.sr_period * rng.uniform();
+    d += profile_.grant_delay;
+  }
+
+  // Frame alignment: wait for the next slot boundary.
+  if (!profile_.tti.is_zero()) d += profile_.tti * rng.uniform();
+
+  // Transmission itself: one slot, more when the link quality forces a low
+  // MCS and the transport block is segmented over several slots.
+  const double segments = 1.0 + 3.0 * (1.0 - c.quality);
+  d += profile_.tti * segments;
+
+  // HARQ retransmissions.
+  const int retx = sample_harq_retx(std::min(0.95, c.bler), rng);
+  d += profile_.harq_rtt * std::int64_t(retx);
+
+  // Cell queueing: grows superlinearly with PRB utilisation.
+  const double load = std::clamp(c.load, 0.0, 0.97);
+  const double mean_queue_ms =
+      profile_.queue_scale_ms * load * load / (1.0 - load);
+  if (mean_queue_ms > 0.0)
+    d += Duration::from_millis_f(
+        stats::ShiftedExponential{0.0, mean_queue_ms}.sample(rng));
+
+  // Interference / handover transients: rare but large; poor-quality cells
+  // see heavier tails (deeper fades, longer recovery). Recovery time
+  // scales with the generation's retransmission loop — fast HARQ and
+  // mini-slot scheduling (SA/6G) ride out the same fade in a fraction of
+  // the 5G-NSA stall.
+  if (rng.chance(c.spike_rate)) {
+    const double recovery_scale = std::min(1.0, profile_.harq_rtt.ms() / 8.0);
+    d += Duration::from_millis_f(
+        rng.uniform(15.0, 90.0 + 150.0 * (1.0 - c.quality)) * recovery_scale);
+  }
+
+  // Protocol stacks and transport to the RAN edge.
+  d += profile_.ue_processing + profile_.gnb_processing +
+       profile_.ran_edge_delay;
+  return d;
+}
+
+Duration RadioLinkModel::sample_uplink(const CellConditions& c,
+                                       Rng& rng) const {
+  return common_direction(c, rng, /*uplink=*/true);
+}
+
+Duration RadioLinkModel::sample_downlink(const CellConditions& c,
+                                         Rng& rng) const {
+  return common_direction(c, rng, /*uplink=*/false);
+}
+
+Duration RadioLinkModel::expected_rtt(const CellConditions& c) const {
+  const double load = std::clamp(c.load, 0.0, 0.97);
+  const double mean_queue_ms =
+      profile_.queue_scale_ms * load * load / (1.0 - load);
+  const double bler = std::min(0.95, c.bler);
+  // E[retx] for the truncated geometric (limit 4).
+  double expected_retx = 0.0;
+  double p_reach = 1.0;
+  for (int k = 1; k <= 4; ++k) {
+    p_reach *= bler;
+    expected_retx += p_reach;
+  }
+  const double segments = 1.0 + 3.0 * (1.0 - c.quality);
+  const double spike_hi_ms = 90.0 + 150.0 * (1.0 - c.quality);
+  const double recovery_scale = std::min(1.0, profile_.harq_rtt.ms() / 8.0);
+  const double spike_mean_ms =
+      c.spike_rate * (15.0 + spike_hi_ms) / 2.0 * recovery_scale;
+
+  const double per_direction_ms =
+      profile_.tti.ms() * (0.5 + segments) + profile_.harq_rtt.ms() *
+          expected_retx +
+      mean_queue_ms + spike_mean_ms + profile_.ue_processing.ms() +
+      profile_.gnb_processing.ms() + profile_.ran_edge_delay.ms();
+  const double uplink_extra_ms =
+      profile_.sr_period.ms() * 0.5 + profile_.grant_delay.ms();
+  return Duration::from_millis_f(2.0 * per_direction_ms + uplink_extra_ms);
+}
+
+}  // namespace sixg::radio

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "radio/conditions.hpp"
+#include "radio/profile.hpp"
+
+namespace sixg::radio {
+
+/// Stochastic latency model of one radio access traversal
+/// (UE <-> gNB <-> RAN edge). Decomposition per direction:
+///
+///   uplink  = SR wait + grant + frame alignment + tx + HARQ retx
+///             + cell queueing + low-MCS segmentation + spikes + stack
+///   downlink = frame alignment + tx + HARQ retx + queueing + spikes + stack
+///
+/// The model intentionally works at flow/packet granularity rather than
+/// symbol granularity: the paper's analysis needs correct ms-scale means
+/// and variances per cell, not a PHY simulation.
+class RadioLinkModel {
+ public:
+  explicit RadioLinkModel(AccessProfile profile)
+      : profile_(std::move(profile)) {}
+
+  [[nodiscard]] const AccessProfile& profile() const { return profile_; }
+
+  /// One uplink traversal (UE -> RAN edge).
+  [[nodiscard]] Duration sample_uplink(const CellConditions& c,
+                                       Rng& rng) const;
+
+  /// One downlink traversal (RAN edge -> UE).
+  [[nodiscard]] Duration sample_downlink(const CellConditions& c,
+                                         Rng& rng) const;
+
+  /// Full radio round trip (uplink + downlink), the quantity that adds to
+  /// the wired-path RTT in end-to-end measurements.
+  [[nodiscard]] Duration sample_rtt(const CellConditions& c, Rng& rng) const {
+    return sample_uplink(c, rng) + sample_downlink(c, rng);
+  }
+
+  /// Deterministic expected RTT (no sampling): used by planners and for
+  /// calibration tests. Matches the sample mean asymptotically.
+  [[nodiscard]] Duration expected_rtt(const CellConditions& c) const;
+
+ private:
+  [[nodiscard]] Duration common_direction(const CellConditions& c, Rng& rng,
+                                          bool uplink) const;
+  AccessProfile profile_;
+};
+
+}  // namespace sixg::radio

@@ -1,0 +1,32 @@
+#include "radio/mmwave.hpp"
+
+#include "stats/distributions.hpp"
+
+namespace sixg::radio {
+
+Duration MmWavePhyModel::sample_one_way(Rng& rng) const {
+  // Slot alignment + one transmission.
+  Duration d = params_.slot * rng.uniform() + params_.slot;
+
+  // Beam state decides the dominating term.
+  const double roll = rng.uniform();
+  if (roll < params_.p_aligned) {
+    // Serving beam is current: nothing to add.
+  } else if (roll < params_.p_aligned + params_.p_tracking) {
+    d += Duration::from_millis_f(
+        rng.uniform(params_.tracking_lo.ms(), params_.tracking_hi.ms()));
+  } else {
+    d += Duration::from_millis_f(
+        stats::Lognormal::from_median(params_.realign_median_ms,
+                                      params_.realign_sigma)
+            .sample(rng));
+  }
+
+  // HARQ at mmWave speed.
+  int retx = 0;
+  while (retx < 4 && rng.chance(params_.bler)) ++retx;
+  d += params_.harq_rtt * retx;
+  return d;
+}
+
+}  // namespace sixg::radio

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "radio/profile.hpp"
+
+namespace sixg::radio {
+
+/// Layer-1/2 latency model of a 5G mmWave cell, after the measurement
+/// methodology of Fezeu et al. [22] (the PHY reference the paper cites:
+/// 4.4 % of packets under 1 ms, 22.36 % under 3 ms, application use case
+/// dominating end-to-end delay).
+///
+/// mmWave PHY latency is bimodal-by-beam-state rather than load-driven:
+///  * aligned   — the serving beam is spot on: one mini-slot, sub-ms;
+///  * tracking  — small refinements steal a few slots (1-3 ms);
+///  * realigning — beam sweep / blockage recovery dominates (3-15 ms).
+class MmWavePhyModel {
+ public:
+  struct Params {
+    Duration slot = Duration::micros(125);  ///< numerology-3 slot
+    double p_aligned = 0.05;
+    double p_tracking = 0.17;               ///< remainder: realigning
+    Duration tracking_lo = Duration::from_millis_f(0.8);
+    Duration tracking_hi = Duration::from_millis_f(3.2);
+    /// Lognormal body of the realignment penalty.
+    double realign_median_ms = 5.0;
+    double realign_sigma = 0.45;
+    double bler = 0.10;
+    Duration harq_rtt = Duration::micros(500);
+  };
+
+  MmWavePhyModel() : MmWavePhyModel(Params{}) {}
+  explicit MmWavePhyModel(Params params) : params_(params) {}
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// One-way PHY latency of one packet.
+  [[nodiscard]] Duration sample_one_way(Rng& rng) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace sixg::radio

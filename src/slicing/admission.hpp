@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "slicing/slice.hpp"
+#include "topo/network.hpp"
+
+namespace sixg::slicing {
+
+/// End-to-end slice admission over the topology: a slice reserves its
+/// guaranteed rate on every link of its path. Admission fails when any
+/// link would exceed its reservable share — the resource-isolation half of
+/// "end-to-end network slicing" [39].
+class SliceAdmission {
+ public:
+  struct Config {
+    /// Fraction of each link's capacity available for guaranteed slices
+    /// (the rest is best effort).
+    double reservable_share = 0.6;
+  };
+
+  SliceAdmission(const topo::Network& net, Config config);
+
+  struct Admitted {
+    std::uint32_t slice_id = 0;
+    topo::Path path;
+  };
+
+  /// Try to admit `spec` between two endpoints. On success the
+  /// reservation is recorded and the chosen path returned.
+  [[nodiscard]] std::optional<Admitted> admit(const SliceSpec& spec,
+                                              topo::NodeId from,
+                                              topo::NodeId to);
+
+  /// Release a previously admitted slice.
+  bool release(std::uint32_t slice_id);
+
+  /// Reserved rate on a link.
+  [[nodiscard]] DataRate reserved_on(topo::LinkId link) const;
+
+  /// Utilisation of the reservable share of a link, in [0,1].
+  [[nodiscard]] double reservation_ratio(topo::LinkId link) const;
+
+  [[nodiscard]] std::size_t admitted_count() const {
+    return admitted_.size();
+  }
+
+ private:
+  const topo::Network* net_;
+  Config config_;
+  std::vector<std::int64_t> reserved_bps_;  // by link id value
+  std::vector<Admitted> admitted_;
+  std::vector<SliceSpec> specs_;
+};
+
+}  // namespace sixg::slicing

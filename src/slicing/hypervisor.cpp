@@ -1,0 +1,138 @@
+#include "slicing/hypervisor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace sixg::slicing {
+
+const char* to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kLatencyAware:
+      return "latency-aware";
+    case PlacementStrategy::kResilienceAware:
+      return "resilience-aware";
+    case PlacementStrategy::kLoadBalanced:
+      return "load-balanced";
+  }
+  return "?";
+}
+
+HypervisorPlacer::HypervisorPlacer(std::vector<HypervisorSite> sites)
+    : sites_(std::move(sites)) {
+  SIXG_ASSERT(!sites_.empty(), "placer needs candidate sites");
+}
+
+double HypervisorPlacer::control_rtt_ms(const SliceEndpoint& slice,
+                                        const HypervisorSite& site) {
+  const double dist = geo::distance_km(slice.position, site.position);
+  // Fibre both ways + hypervisor/stack processing (0.35 ms).
+  return 2.0 * geo::fiber_delay_us(dist) / 1000.0 + 0.35;
+}
+
+PlacementOutcome HypervisorPlacer::place(
+    const std::vector<SliceEndpoint>& slices,
+    PlacementStrategy strategy) const {
+  PlacementOutcome out;
+  out.strategy = strategy;
+  out.primary_site.resize(slices.size());
+  out.backup_site.resize(slices.size());
+
+  std::vector<double> site_load(sites_.size(), 0.0);
+  const auto utilization = [&](std::size_t s) {
+    return site_load[s] / sites_[s].capacity_slices;
+  };
+
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const SliceEndpoint& slice = slices[i];
+
+    // Score every site for this slice under the active objective.
+    std::size_t best = sites_.size();
+    double best_score = std::numeric_limits<double>::max();
+    for (std::size_t s = 0; s < sites_.size(); ++s) {
+      if (site_load[s] + slice.control_load > sites_[s].capacity_slices)
+        continue;
+      const double rtt = control_rtt_ms(slice, sites_[s]);
+      double score = 0.0;
+      switch (strategy) {
+        case PlacementStrategy::kLatencyAware:
+          score = rtt;
+          break;
+        case PlacementStrategy::kResilienceAware:
+          // Primary still favours latency; disjoint backup chosen below.
+          score = rtt;
+          break;
+        case PlacementStrategy::kLoadBalanced:
+          score = utilization(s) * 1000.0 + rtt;  // load first, RTT tiebreak
+          break;
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    SIXG_ASSERT(best < sites_.size(), "placement infeasible: sites full");
+    site_load[best] += slice.control_load;
+    out.primary_site[i] = sites_[best].id;
+    out.backup_site[i] = sites_[best].id;
+
+    if (strategy == PlacementStrategy::kResilienceAware) {
+      // Backup: cheapest site that is not the primary.
+      std::size_t backup = sites_.size();
+      double backup_score = std::numeric_limits<double>::max();
+      for (std::size_t s = 0; s < sites_.size(); ++s) {
+        if (s == best) continue;
+        if (site_load[s] + slice.control_load > sites_[s].capacity_slices)
+          continue;
+        const double rtt = control_rtt_ms(slice, sites_[s]);
+        if (rtt < backup_score) {
+          backup_score = rtt;
+          backup = s;
+        }
+      }
+      if (backup < sites_.size()) {
+        site_load[backup] += slice.control_load;
+        out.backup_site[i] = sites_[backup].id;
+      }
+    }
+  }
+
+  // Metrics.
+  double rtt_sum = 0.0;
+  std::uint32_t covered = 0;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const auto& site = *std::find_if(
+        sites_.begin(), sites_.end(), [&](const HypervisorSite& s) {
+          return s.id == out.primary_site[i];
+        });
+    const double rtt = control_rtt_ms(slices[i], site);
+    rtt_sum += rtt;
+    out.worst_control_rtt_ms = std::max(out.worst_control_rtt_ms, rtt);
+    if (out.backup_site[i] != out.primary_site[i]) ++covered;
+  }
+  out.mean_control_rtt_ms =
+      slices.empty() ? 0.0 : rtt_sum / double(slices.size());
+  for (std::size_t s = 0; s < sites_.size(); ++s)
+    out.max_site_utilization = std::max(out.max_site_utilization,
+                                        utilization(s));
+  out.failover_coverage =
+      slices.empty() ? 0.0 : double(covered) / double(slices.size());
+  return out;
+}
+
+TextTable HypervisorPlacer::comparison(
+    const std::vector<PlacementOutcome>& outcomes) {
+  TextTable t{{"Strategy", "Mean ctrl RTT (ms)", "Worst ctrl RTT (ms)",
+               "Max site util", "Failover coverage"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const PlacementOutcome& o : outcomes) {
+    t.add_row({to_string(o.strategy), TextTable::num(o.mean_control_rtt_ms, 2),
+               TextTable::num(o.worst_control_rtt_ms, 2),
+               TextTable::num(o.max_site_utilization * 100.0, 1) + " %",
+               TextTable::num(o.failover_coverage * 100.0, 1) + " %"});
+  }
+  return t;
+}
+
+}  // namespace sixg::slicing

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/time.hpp"
+#include "geo/coords.hpp"
+#include "slicing/slice.hpp"
+
+namespace sixg::slicing {
+
+/// A datacentre that can host a network hypervisor instance.
+struct HypervisorSite {
+  std::uint32_t id = 0;
+  std::string name;
+  geo::LatLon position;
+  double capacity_slices = 8.0;  ///< concurrent slice control loads
+};
+
+/// A slice's control-plane attachment point (where its vRAN/vCore control
+/// traffic originates).
+struct SliceEndpoint {
+  SliceSpec spec;
+  geo::LatLon position;
+  double control_load = 1.0;
+};
+
+/// Placement objective, after the survey the paper cites: latency [41],
+/// resilience [42], load balancing [43].
+enum class PlacementStrategy : std::uint8_t {
+  kLatencyAware,    ///< minimise worst slice-to-hypervisor control RTT
+  kResilienceAware, ///< two replicas per slice, maximise site disjointness
+  kLoadBalanced,    ///< equalise site utilisation
+};
+
+[[nodiscard]] const char* to_string(PlacementStrategy s);
+
+/// Result of placing every slice onto hypervisor sites.
+struct PlacementOutcome {
+  PlacementStrategy strategy{};
+  /// site id per slice (primary), same order as the input endpoints.
+  std::vector<std::uint32_t> primary_site;
+  /// backup site per slice (only for resilience strategy; otherwise ==
+  /// primary).
+  std::vector<std::uint32_t> backup_site;
+  double worst_control_rtt_ms = 0.0;
+  double mean_control_rtt_ms = 0.0;
+  double max_site_utilization = 0.0;
+  /// Fraction of slices that survive the failure of their primary site
+  /// without re-placement (have a live backup elsewhere).
+  double failover_coverage = 0.0;
+};
+
+/// Greedy hypervisor placement engine over candidate sites.
+class HypervisorPlacer {
+ public:
+  HypervisorPlacer(std::vector<HypervisorSite> sites);
+
+  [[nodiscard]] const std::vector<HypervisorSite>& sites() const {
+    return sites_;
+  }
+
+  [[nodiscard]] PlacementOutcome place(
+      const std::vector<SliceEndpoint>& slices,
+      PlacementStrategy strategy) const;
+
+  /// Control RTT between a slice endpoint and a site (fibre + stack).
+  [[nodiscard]] static double control_rtt_ms(const SliceEndpoint& slice,
+                                             const HypervisorSite& site);
+
+  [[nodiscard]] static TextTable comparison(
+      const std::vector<PlacementOutcome>& outcomes);
+
+ private:
+  std::vector<HypervisorSite> sites_;
+};
+
+}  // namespace sixg::slicing

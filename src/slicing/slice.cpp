@@ -1,0 +1,43 @@
+#include "slicing/slice.hpp"
+
+namespace sixg::slicing {
+
+const char* to_string(SliceType t) {
+  switch (t) {
+    case SliceType::kUrllc:
+      return "URLLC";
+    case SliceType::kEmbb:
+      return "eMBB";
+    case SliceType::kMmtc:
+      return "mMTC";
+  }
+  return "?";
+}
+
+SliceSpec SliceSpec::ar_gaming(std::uint32_t id) {
+  return SliceSpec{id, "ar-gaming", SliceType::kUrllc,
+                   Duration::from_millis_f(20.0), DataRate::mbps(80), 0.999};
+}
+
+SliceSpec SliceSpec::remote_surgery(std::uint32_t id) {
+  return SliceSpec{id, "remote-surgery", SliceType::kUrllc,
+                   Duration::from_millis_f(10.0), DataRate::mbps(40),
+                   0.99999};
+}
+
+SliceSpec SliceSpec::vehicle_coordination(std::uint32_t id) {
+  return SliceSpec{id, "v2x-coordination", SliceType::kUrllc,
+                   Duration::from_millis_f(5.0), DataRate::mbps(25), 0.9999};
+}
+
+SliceSpec SliceSpec::video_streaming(std::uint32_t id) {
+  return SliceSpec{id, "video-8k", SliceType::kEmbb,
+                   Duration::from_millis_f(50.0), DataRate::mbps(400), 0.99};
+}
+
+SliceSpec SliceSpec::sensor_swarm(std::uint32_t id) {
+  return SliceSpec{id, "smart-city-sensors", SliceType::kMmtc,
+                   Duration::from_millis_f(500.0), DataRate::mbps(5), 0.95};
+}
+
+}  // namespace sixg::slicing

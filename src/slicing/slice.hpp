@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sixg::slicing {
+
+/// 3GPP service categories used for end-to-end slicing (Section V-C).
+enum class SliceType : std::uint8_t {
+  kUrllc,  ///< ultra-reliable low latency (robotics, V2X, AR control)
+  kEmbb,   ///< enhanced mobile broadband (video, AR streams)
+  kMmtc,   ///< massive machine-type (sensor swarms)
+};
+
+[[nodiscard]] const char* to_string(SliceType t);
+
+/// A network slice's service-level objectives and identity.
+struct SliceSpec {
+  std::uint32_t id = 0;
+  std::string name;
+  SliceType type = SliceType::kEmbb;
+  Duration latency_budget = Duration::from_millis_f(20.0);
+  DataRate guaranteed_rate = DataRate::mbps(50);
+  double reliability = 0.999;  ///< fraction of packets within budget
+
+  /// Canonical slices for the paper's application classes.
+  [[nodiscard]] static SliceSpec ar_gaming(std::uint32_t id);
+  [[nodiscard]] static SliceSpec remote_surgery(std::uint32_t id);
+  [[nodiscard]] static SliceSpec vehicle_coordination(std::uint32_t id);
+  [[nodiscard]] static SliceSpec video_streaming(std::uint32_t id);
+  [[nodiscard]] static SliceSpec sensor_swarm(std::uint32_t id);
+};
+
+}  // namespace sixg::slicing

@@ -1,0 +1,48 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sixg::stats {
+
+namespace {
+double mean_of(std::span<const double> xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / double(xs.size());
+}
+}  // namespace
+
+Interval bootstrap_ci(std::span<const double> sample,
+                      double (*statistic)(std::span<const double>),
+                      double confidence, std::uint32_t resamples,
+                      std::uint64_t seed) {
+  SIXG_ASSERT(!sample.empty(), "bootstrap needs a non-empty sample");
+  SIXG_ASSERT(confidence > 0.0 && confidence < 1.0,
+              "confidence must be in (0,1)");
+  Rng rng{seed};
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    for (auto& slot : resample)
+      slot = sample[rng.uniform_int(sample.size())];
+    stats.push_back(statistic(std::span<const double>{resample}));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto pick = [&](double q) {
+    const auto idx = std::size_t(q * double(stats.size() - 1) + 0.5);
+    return stats[std::min(idx, stats.size() - 1)];
+  };
+  return Interval{pick(alpha), pick(1.0 - alpha)};
+}
+
+Interval bootstrap_mean_ci(std::span<const double> sample, double confidence,
+                           std::uint32_t resamples, std::uint64_t seed) {
+  return bootstrap_ci(sample, &mean_of, confidence, resamples, seed);
+}
+
+}  // namespace sixg::stats

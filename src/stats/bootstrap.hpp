@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace sixg::stats {
+
+/// Two-sided confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double x) const { return x >= lo && x <= hi; }
+  [[nodiscard]] double width() const { return hi - lo; }
+};
+
+/// Percentile-bootstrap confidence interval for the mean of `sample`.
+/// `confidence` in (0,1), e.g. 0.95. Deterministic given `seed`.
+[[nodiscard]] Interval bootstrap_mean_ci(std::span<const double> sample,
+                                         double confidence,
+                                         std::uint32_t resamples,
+                                         std::uint64_t seed);
+
+/// Bootstrap CI for an arbitrary statistic supplied as a function of a
+/// resampled vector.
+[[nodiscard]] Interval bootstrap_ci(std::span<const double> sample,
+                                    double (*statistic)(std::span<const double>),
+                                    double confidence, std::uint32_t resamples,
+                                    std::uint64_t seed);
+
+}  // namespace sixg::stats

@@ -1,0 +1,97 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace sixg::stats {
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  // Marsaglia polar method; discard the paired variate (see header).
+  double u;
+  double v;
+  double s;
+  do {
+    u = rng.uniform(-1.0, 1.0);
+    v = rng.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * factor;
+}
+
+Lognormal Lognormal::from_median(double median, double sigma) {
+  SIXG_ASSERT(median > 0.0, "lognormal median must be positive");
+  return Lognormal{std::log(median), sigma};
+}
+
+double Lognormal::sample(Rng& rng) const {
+  return std::exp(sample_normal(rng, mu_, sigma_));
+}
+
+double Lognormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double Lognormal::median() const { return std::exp(mu_); }
+
+double ShiftedExponential::sample(Rng& rng) const {
+  // Inverse CDF; 1 - uniform() is in (0, 1] so log() is finite.
+  return shift_ - mean_excess_ * std::log(1.0 - rng.uniform());
+}
+
+double Gamma::sample(Rng& rng) const {
+  SIXG_ASSERT(shape_ > 0.0 && scale_ > 0.0, "gamma parameters must be > 0");
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    // Boost trick: Gamma(k) = Gamma(k+1) * U^(1/k).
+    boost = std::pow(rng.uniform(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = sample_normal(rng, 0.0, 1.0);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * scale_;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return boost * d * v * scale_;
+  }
+}
+
+double TruncatedNormal::sample(Rng& rng) const {
+  // Rejection; for our parameterisations the floor is well below the mean,
+  // so acceptance is near 1 and this cannot loop pathologically.
+  for (int i = 0; i < 1024; ++i) {
+    const double x = sample_normal(rng, mean_, stddev_);
+    if (x >= floor_) return x;
+  }
+  return floor_;
+}
+
+std::uint64_t sample_poisson(Rng& rng, double lambda) {
+  SIXG_ASSERT(lambda >= 0.0, "poisson rate must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda < 64.0) {
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double x = sample_normal(rng, lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : std::uint64_t(x + 0.5);
+}
+
+}  // namespace sixg::stats

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace sixg::stats {
+
+/// Samplers for the latency-model distributions. All draw from sixg::Rng so
+/// replications are reproducible; all are value types so per-cell models are
+/// cheap to copy into parallel workers.
+
+/// Standard normal via Marsaglia polar method (stateless across calls —
+/// we deliberately discard the second variate to keep replay exact even if
+/// call sites interleave).
+[[nodiscard]] double sample_normal(Rng& rng, double mean, double stddev);
+
+/// Lognormal; heavy right tail, the canonical model for wide-area RTT
+/// (body around the propagation floor, occasional large spikes).
+class Lognormal {
+ public:
+  /// Construct from the *underlying* normal parameters.
+  Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+
+  /// Construct from desired median and the sigma of the log (shape).
+  [[nodiscard]] static Lognormal from_median(double median, double sigma);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential with optional left shift: floor + Exp(rate). Models
+/// residual queueing above a deterministic floor.
+class ShiftedExponential {
+ public:
+  ShiftedExponential(double shift, double mean_excess)
+      : shift_(shift), mean_excess_(mean_excess) {}
+
+  [[nodiscard]] double sample(Rng& rng) const;
+  [[nodiscard]] double mean() const { return shift_ + mean_excess_; }
+
+ private:
+  double shift_;
+  double mean_excess_;
+};
+
+/// Gamma(k, theta) via Marsaglia–Tsang; used for per-hop processing jitter.
+class Gamma {
+ public:
+  Gamma(double shape, double scale) : shape_(shape), scale_(scale) {}
+
+  [[nodiscard]] double sample(Rng& rng) const;
+  [[nodiscard]] double mean() const { return shape_ * scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Normal truncated below at `floor` (resampled); keeps latency samples
+/// physical (never below the propagation bound).
+class TruncatedNormal {
+ public:
+  TruncatedNormal(double mean, double stddev, double floor)
+      : mean_(mean), stddev_(stddev), floor_(floor) {}
+
+  [[nodiscard]] double sample(Rng& rng) const;
+
+ private:
+  double mean_;
+  double stddev_;
+  double floor_;
+};
+
+/// Poisson counts (Knuth for small lambda, normal approximation above 64).
+[[nodiscard]] std::uint64_t sample_poisson(Rng& rng, double lambda);
+
+}  // namespace sixg::stats

@@ -1,0 +1,120 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sixg::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / double(bins)), counts_(bins) {
+  SIXG_ASSERT(hi > lo, "histogram range must be non-empty");
+  SIXG_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = std::size_t((x - lo_) / bin_width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi_
+  ++counts_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  SIXG_ASSERT(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+                  other.hi_ == hi_,
+              "histograms must share binning to merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + double(i) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + double(i + 1) * bin_width_;
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x <= lo_) {
+    return x < lo_ ? 0.0 : double(underflow_) / double(total_);
+  }
+  double below = double(underflow_);
+  if (x >= hi_) {
+    return 1.0 - double(overflow_) / double(total_) +
+           (x > hi_ ? double(overflow_) / double(total_) : 0.0);
+  }
+  const auto idx = std::min(std::size_t((x - lo_) / bin_width_),
+                            counts_.size() - 1);
+  for (std::size_t i = 0; i < idx; ++i) below += double(counts_[i]);
+  const double frac = (x - bin_lo(idx)) / bin_width_;
+  below += frac * double(counts_[idx]);
+  return below / double(total_);
+}
+
+double Histogram::quantile(double q) const {
+  SIXG_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * double(total_);
+  double cum = double(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + double(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / double(counts_[i]);
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::str(std::size_t max_bar) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof label, "[%8.2f, %8.2f)", bin_lo(i), bin_hi(i));
+    const auto bar = std::size_t(double(counts_[i]) / double(peak) *
+                                 double(max_bar));
+    out << label << ' ' << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+void QuantileSample::merge(const QuantileSample& other) {
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  sorted_ = false;
+}
+
+double QuantileSample::quantile(double q) const {
+  SIXG_ASSERT(!data_.empty(), "quantile of empty sample");
+  SIXG_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  if (data_.size() == 1) return data_[0];
+  const double pos = q * double(data_.size() - 1);
+  const auto lo = std::size_t(pos);
+  const auto hi = std::min(lo + 1, data_.size() - 1);
+  const double frac = pos - double(lo);
+  return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+}
+
+}  // namespace sixg::stats

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sixg::stats {
+
+/// Fixed-bin histogram over [lo, hi) with overflow/underflow buckets.
+/// Used for latency distributions (e.g. the PHY-latency CDF bench that
+/// reproduces the Fezeu et al. "4.4 % < 1 ms / 22.36 % < 3 ms" shape).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Fraction of samples strictly below `x` (linear interpolation within the
+  /// containing bin). This is the empirical CDF.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Value at quantile q in [0,1] (inverse CDF, interpolated).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// ASCII rendering (one row per bin with a proportional bar).
+  [[nodiscard]] std::string str(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact empirical quantiles from a retained sample vector. The campaign
+/// sizes in this project (1e3..1e6 samples) fit comfortably in memory, so
+/// we prefer exact quantiles over sketches.
+class QuantileSample {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+  void merge(const QuantileSample& other);
+
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace sixg::stats

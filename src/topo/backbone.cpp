@@ -1,0 +1,64 @@
+#include "topo/backbone.hpp"
+
+#include "common/assert.hpp"
+#include "geo/gazetteer.hpp"
+
+namespace sixg::topo {
+
+Backbone build_backbone(int stubs_per_city) {
+  SIXG_ASSERT(stubs_per_city >= 0, "stub count must be non-negative");
+  Backbone b;
+  const auto& gaz = geo::Gazetteer::central_europe();
+
+  const auto frankfurt = gaz.find("Frankfurt")->position;
+  const auto vienna = gaz.find("Vienna")->position;
+
+  const AsId t1_west = b.net.add_as(3320, "Transit-West");
+  const AsId t1_east = b.net.add_as(1273, "Transit-East");
+  b.tier1 = {t1_west, t1_east};
+  const NodeId west_core = b.net.add_node(
+      "t1-fra", "80.81.192.1", NodeKind::kRouter, t1_west, frankfurt);
+  const NodeId east_core = b.net.add_node(
+      "t1-vie", "80.81.193.1", NodeKind::kRouter, t1_east, vienna);
+  b.net.add_link(west_core, east_core, LinkRelation::kPeer);
+
+  std::uint32_t asn = 30000;
+  std::uint32_t host_octet = 1;
+  for (const auto& city : gaz.cities()) {
+    const AsId isp = b.net.add_as(asn++, "isp-" + city.name);
+    b.regional.push_back(isp);
+    const NodeId core =
+        b.net.add_node("core-" + city.name,
+                       "100.64." + std::to_string(host_octet) + ".1",
+                       NodeKind::kRouter, isp, city.position);
+    b.regional_core.push_back(core);
+
+    // Buy transit from the geographically nearer tier-1; every third ISP
+    // multi-homes to both.
+    const double to_west = geo::distance_km(city.position, frankfurt);
+    const double to_east = geo::distance_km(city.position, vienna);
+    const NodeId primary = to_west < to_east ? west_core : east_core;
+    b.net.add_link(core, primary, LinkRelation::kCustomerOfB);
+    if (b.regional.size() % 3 == 0) {
+      const NodeId secondary = to_west < to_east ? east_core : west_core;
+      b.net.add_link(core, secondary, LinkRelation::kCustomerOfB);
+    }
+
+    for (int s = 0; s < stubs_per_city; ++s) {
+      const AsId stub =
+          b.net.add_as(asn++, "stub-" + city.name + "-" + std::to_string(s));
+      const NodeId host = b.net.add_node(
+          "host-" + city.name + "-" + std::to_string(s),
+          "100.64." + std::to_string(host_octet) + "." +
+              std::to_string(10 + s),
+          NodeKind::kHost, stub,
+          geo::offset(city.position, 2.0 + s, 45.0 + 90.0 * s));
+      b.stub_hosts.push_back(host);
+      b.net.add_link(host, core, LinkRelation::kCustomerOfB);
+    }
+    ++host_octet;
+  }
+  return b;
+}
+
+}  // namespace sixg::topo

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace sixg::topo {
+
+/// A larger synthetic European backbone for scale and orchestration
+/// studies: two tier-1 transits (Frankfurt, Vienna) peering with each
+/// other, one regional ISP per gazetteer city buying transit from the
+/// nearer tier-1, and `stubs_per_city` stub ASes (enterprises, campuses)
+/// per city behind the regional ISP. Exercises the policy-routing and
+/// placement machinery well beyond the 8-AS evaluation scenario.
+struct Backbone {
+  Network net;
+  std::vector<AsId> tier1;
+  std::vector<AsId> regional;        ///< one per city, gazetteer order
+  std::vector<NodeId> regional_core; ///< that ISP's core router
+  std::vector<NodeId> stub_hosts;    ///< one host per stub AS
+};
+
+[[nodiscard]] Backbone build_backbone(int stubs_per_city = 2);
+
+}  // namespace sixg::topo

@@ -1,0 +1,57 @@
+#include "topo/traceroute.hpp"
+
+namespace sixg::topo {
+
+TextTable TracerouteResult::table() const {
+  TextTable t{{"Hop", "Node", "RTT (ms)", "Cum. km"}};
+  t.set_align(1, TextTable::Align::kLeft);
+  for (const TracerouteHop& hop : hops) {
+    t.add_row({TextTable::integer(hop.index), hop.display,
+               TextTable::num(hop.rtt_ms, 2),
+               TextTable::num(hop.cumulative_km, 0)});
+  }
+  return t;
+}
+
+TracerouteResult traceroute(const Network& net, NodeId src, NodeId dst,
+                            Rng& rng) {
+  TracerouteResult result;
+  const Path path = net.find_path(src, dst);
+  if (!path.valid() || path.nodes.size() < 2) return result;
+
+  // Cumulative deterministic one-way latency and distance per prefix.
+  Duration base_prefix;
+  double km_prefix = 0.0;
+  for (std::size_t i = 1; i < path.nodes.size(); ++i) {
+    const Link& l = net.link(path.links[i - 1]);
+    base_prefix += l.propagation() + l.extra_latency;
+    if (i >= 2) base_prefix += net.node(path.nodes[i - 1]).processing_delay;
+    km_prefix += l.length_km;
+
+    // Each hop probe experiences fresh queueing on every traversed link,
+    // both directions — as real per-TTL ICMP probes do.
+    Duration rtt = base_prefix + base_prefix;
+    for (std::size_t k = 0; k < i; ++k) {
+      rtt += net.sample_queueing(path.links[k], rng);
+      rtt += net.sample_queueing(path.links[k], rng);
+    }
+
+    const Node& n = net.node(path.nodes[i]);
+    TracerouteHop hop;
+    hop.index = int(i);
+    hop.node = n.id;
+    hop.display = (n.name == n.ipv4 || n.name.empty())
+                      ? n.ipv4
+                      : n.name + " [" + n.ipv4 + "]";
+    hop.rtt_ms = rtt.ms();
+    hop.cumulative_km = km_prefix;
+    result.hops.push_back(hop);
+  }
+
+  result.total_km = path.distance_km;
+  result.rtt_ms = net.sample_rtt(path, rng).ms();
+  result.reached = true;
+  return result;
+}
+
+}  // namespace sixg::topo

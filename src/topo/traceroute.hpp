@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "topo/network.hpp"
+
+namespace sixg::topo {
+
+/// One row of a traceroute: mirrors the paper's Table I ("Hop | Node").
+struct TracerouteHop {
+  int index = 0;             ///< 1-based hop number
+  NodeId node;
+  std::string display;       ///< "name [ip]" or bare IP, as in the paper
+  double rtt_ms = 0.0;       ///< sampled RTT to this hop
+  double cumulative_km = 0;  ///< geometric distance travelled so far
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  double total_km = 0.0;     ///< full path length (one way)
+  double rtt_ms = 0.0;       ///< sampled end-to-end RTT
+  bool reached = false;
+
+  [[nodiscard]] std::size_t hop_count() const { return hops.size(); }
+
+  /// Render as the paper's Table I layout.
+  [[nodiscard]] TextTable table() const;
+};
+
+/// Simulate a traceroute from `src` to `dst`: each listed hop is a node
+/// that decrements TTL on the forwarding path (the source itself is not
+/// listed). Per-hop RTTs are independently sampled, like real probes.
+[[nodiscard]] TracerouteResult traceroute(const Network& net, NodeId src,
+                                          NodeId dst, Rng& rng);
+
+}  // namespace sixg::topo

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace sixg::topo {
+
+struct NodeTag {};
+struct LinkTag {};
+struct AsTag {};
+
+using NodeId = StrongId<NodeTag>;
+using LinkId = StrongId<LinkTag>;
+using AsId = StrongId<AsTag>;
+
+/// Role of a node; affects traceroute rendering and placement logic.
+enum class NodeKind : std::uint8_t {
+  kRouter,   ///< forwarding element
+  kHost,     ///< end system / server
+  kProbe,    ///< measurement probe (RIPE-Atlas-like)
+  kGateway,  ///< carrier gateway (e.g. CGNAT) — first hop of mobile UEs
+  kIxpPort,  ///< port at an Internet Exchange Point
+  kUpfSite,  ///< site where a User Plane Function can be anchored
+};
+
+/// Business relationship of an inter-AS link, from the perspective of the
+/// link's `a` endpoint (Gao-Rexford model).
+enum class LinkRelation : std::uint8_t {
+  kIntraAs,         ///< both endpoints in the same AS
+  kCustomerOfB,     ///< a's AS buys transit from b's AS (a = customer)
+  kProviderOfB,     ///< a's AS sells transit to b's AS (a = provider)
+  kPeer,            ///< settlement-free peering
+};
+
+/// Route class in BGP preference order (lower value = preferred). The
+/// "valley-free" export rules of Gao-Rexford produce paths of the shape
+/// uphill* peer? downhill*.
+enum class RouteSource : std::uint8_t {
+  kSelf = 0,      ///< destination AS itself
+  kCustomer = 1,  ///< learned from a customer (downhill from here)
+  kPeer = 2,      ///< learned from a peer
+  kProvider = 3,  ///< learned from a provider (uphill from here)
+  kNone = 4,      ///< unreachable under policy
+};
+
+}  // namespace sixg::topo

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "measurement/atlas.hpp"
+#include "radio/conditions.hpp"
+#include "radio/link_model.hpp"
+#include "radio/profile.hpp"
+#include "topo/europe.hpp"
+
+namespace sixg::meas {
+namespace {
+
+class AtlasFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new topo::EuropeTopology(topo::build_europe());
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static topo::EuropeTopology* world_;
+};
+
+topo::EuropeTopology* AtlasFixture::world_ = nullptr;
+
+TEST_F(AtlasFixture, PeriodicScheduleProducesExpectedSampleCount) {
+  AtlasFleet fleet{world_->net};
+  const ProbeId probe = fleet.add_probe("wired", world_->wired_host);
+  AtlasFleet::ScheduleOptions options;
+  options.period = Duration::seconds(60);
+  options.spread_start = false;
+  fleet.schedule_ping(probe, world_->university_probe, options);
+  const auto results = fleet.run(Duration::seconds(3600), 1);
+  ASSERT_EQ(results.size(), 1u);
+  // First firing at t=0, then every 60 s up to and including t=3600.
+  EXPECT_EQ(results[0].scheduled, 61u);
+  EXPECT_EQ(results[0].lost, 0u);
+  EXPECT_EQ(results[0].rtt_ms.count(), 61u);
+}
+
+TEST_F(AtlasFixture, SpreadStartStaggersWithinOnePeriod) {
+  AtlasFleet fleet{world_->net};
+  const ProbeId probe = fleet.add_probe("wired", world_->wired_host);
+  AtlasFleet::ScheduleOptions options;
+  options.period = Duration::seconds(60);
+  options.spread_start = true;
+  fleet.schedule_ping(probe, world_->university_probe, options);
+  const auto results = fleet.run(Duration::seconds(3600), 2);
+  // Offset in (0, 60) s: either 60 or 61 firings fit the hour.
+  EXPECT_GE(results[0].scheduled, 60u);
+  EXPECT_LE(results[0].scheduled, 61u);
+}
+
+TEST_F(AtlasFixture, LossRateDropsSamplesButCountsSchedules) {
+  AtlasFleet fleet{world_->net};
+  const ProbeId probe = fleet.add_probe("wired", world_->wired_host);
+  AtlasFleet::ScheduleOptions options;
+  options.period = Duration::seconds(1);
+  options.spread_start = false;
+  options.loss_rate = 0.5;
+  fleet.schedule_ping(probe, world_->university_probe, options);
+  const auto results = fleet.run(Duration::seconds(4000), 3);
+  EXPECT_EQ(results[0].scheduled, 4001u);
+  EXPECT_NEAR(double(results[0].lost) / double(results[0].scheduled), 0.5,
+              0.05);
+  EXPECT_EQ(results[0].rtt_ms.count() + results[0].lost,
+            results[0].scheduled);
+}
+
+TEST_F(AtlasFixture, MobileProbeMeasuresHigherThanWired) {
+  AtlasFleet fleet{world_->net};
+  const radio::RadioLinkModel nsa{radio::AccessProfile::fiveg_nsa()};
+  const radio::CellConditions conditions{.load = 0.4, .quality = 0.8,
+                                         .bler = 0.08, .spike_rate = 0.01};
+  const ProbeId wired = fleet.add_probe("wired", world_->wired_host);
+  const ProbeId mobile = fleet.add_mobile_probe("mobile", world_->mobile_ue,
+                                                nsa, conditions);
+  AtlasFleet::ScheduleOptions options;
+  options.period = Duration::seconds(30);
+  fleet.schedule_ping(wired, world_->university_probe, options);
+  fleet.schedule_ping(mobile, world_->university_probe, options);
+  const auto results = fleet.run(Duration::seconds(7200), 4);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[1].rtt_ms.mean(), 4.0 * results[0].rtt_ms.mean());
+}
+
+TEST_F(AtlasFixture, MultipleSchedulesPerProbeAccumulate) {
+  AtlasFleet fleet{world_->net};
+  const ProbeId probe = fleet.add_probe("wired", world_->wired_host);
+  AtlasFleet::ScheduleOptions options;
+  options.period = Duration::seconds(100);
+  options.spread_start = false;
+  fleet.schedule_ping(probe, world_->university_probe, options);
+  fleet.schedule_ping(probe, world_->cloud_vienna, options);
+  const auto results = fleet.run(Duration::seconds(1000), 5);
+  EXPECT_EQ(results[0].scheduled, 22u);  // 11 per schedule
+}
+
+TEST_F(AtlasFixture, DeterministicPerSeed) {
+  const auto run_fleet = [&] {
+    AtlasFleet fleet{world_->net};
+    const ProbeId probe = fleet.add_probe("wired", world_->wired_host);
+    AtlasFleet::ScheduleOptions options;
+    options.period = Duration::seconds(10);
+    fleet.schedule_ping(probe, world_->university_probe, options);
+    return fleet.run(Duration::seconds(600), 42);
+  };
+  const auto a = run_fleet();
+  const auto b = run_fleet();
+  EXPECT_DOUBLE_EQ(a[0].rtt_ms.mean(), b[0].rtt_ms.mean());
+  EXPECT_EQ(a[0].scheduled, b[0].scheduled);
+}
+
+}  // namespace
+}  // namespace sixg::meas

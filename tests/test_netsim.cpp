@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "netsim/parallel.hpp"
+#include "netsim/simulator.hpp"
+
+namespace sixg::netsim {
+namespace {
+
+using namespace sixg::literals;
+
+// ---------------------------------------------------------------- Simulator
+
+TEST(Simulator, ProcessesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(3_ms, [&] { order.push_back(3); });
+  sim.schedule_after(1_ms, [&] { order.push_back(1); });
+  sim.schedule_after(2_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.processed_events(), 3u);
+}
+
+TEST(Simulator, EqualTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_after(1_ms, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule_after(7_ms, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.ns(), (7_ms).ns());
+  EXPECT_EQ(sim.now().ns(), (7_ms).ns());
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1_ms, [&] {
+    ++fired;
+    sim.schedule_after(1_ms, [&] {
+      ++fired;
+      sim.schedule_after(1_ms, [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now().ns(), (3_ms).ns());
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1_ms, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(2_ms, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1_ms, [&] { ++fired; });
+  sim.schedule_after(5_ms, [&] { ++fired; });
+  sim.run_until(TimePoint{} + 3_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), (3_ms).ns());  // clock lands on the horizon
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_periodic(10_ms, [&] { ++fired; });
+  sim.run_until(TimePoint{} + 55_ms);
+  EXPECT_EQ(fired, 5);
+  EXPECT_TRUE(handle.active());
+}
+
+TEST(Simulator, PeriodicCancelStopsFiring) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_periodic(10_ms, [&] { ++fired; });
+  sim.schedule_after(25_ms, [&] { handle.cancel(); });
+  sim.run_until(TimePoint{} + 100_ms);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(Simulator, PeriodicSelfCancelFromAction) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::PeriodicHandle handle;
+  handle = sim.schedule_periodic(5_ms, [&] {
+    if (++fired == 3) handle.cancel();
+  });
+  sim.run_until(TimePoint{} + 200_ms);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RngIsDeterministicPerSeed) {
+  Simulator a{99};
+  Simulator b{99};
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.rng()(), b.rng()());
+}
+
+// ------------------------------------------------------------ ParallelRunner
+
+TEST(ParallelRunner, RunsEveryJobExactlyOnce) {
+  const ParallelRunner runner{4};
+  std::vector<std::atomic<int>> hits(257);
+  runner.run(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunner, ZeroJobsIsNoop) {
+  const ParallelRunner runner{4};
+  bool called = false;
+  runner.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelRunner, MapPreservesIndexOrder) {
+  const ParallelRunner runner{4};
+  const auto squares = runner.map<int>(
+      100, [](std::size_t i) { return int(i * i); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(squares[std::size_t(i)], i * i);
+}
+
+TEST(ParallelRunner, SingleThreadFallback) {
+  const ParallelRunner runner{1};
+  EXPECT_EQ(runner.thread_count(), 1u);
+  std::vector<int> order;
+  runner.run(10, [&](std::size_t i) { order.push_back(int(i)); });
+  // Single-threaded execution is strictly sequential.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(ParallelRunner, DefaultsToHardwareConcurrency) {
+  const ParallelRunner runner;
+  EXPECT_GE(runner.thread_count(), 1u);
+}
+
+TEST(ParallelRunner, ParallelEqualsSerialForSeededSimulations) {
+  // The core determinism contract: simulations seeded via derive_seed
+  // produce identical results regardless of the worker count.
+  const auto simulate = [](std::size_t i) {
+    Simulator sim{derive_seed(42, i)};
+    double acc = 0.0;
+    for (int k = 0; k < 100; ++k) acc += sim.rng().uniform();
+    return acc;
+  };
+  const ParallelRunner serial{1};
+  const ParallelRunner parallel{4};
+  const auto a = serial.map<double>(64, simulate);
+  const auto b = parallel.map<double>(64, simulate);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelRunner, MoreJobsThanThreads) {
+  const ParallelRunner runner{3};
+  std::atomic<std::int64_t> sum{0};
+  runner.run(1000, [&](std::size_t i) {
+    sum.fetch_add(std::int64_t(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace sixg::netsim

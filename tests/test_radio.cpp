@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "geo/grid.hpp"
+#include "geo/population.hpp"
+#include "radio/conditions.hpp"
+#include "radio/link_model.hpp"
+#include "radio/profile.hpp"
+#include "stats/summary.hpp"
+
+namespace sixg::radio {
+namespace {
+
+CellConditions nominal() {
+  return CellConditions{.load = 0.35, .quality = 0.85, .bler = 0.05,
+                        .spike_rate = 0.01};
+}
+
+// ---------------------------------------------------------------- profiles
+
+TEST(Profiles, GenerationsOrderedByLatency) {
+  const RadioLinkModel nsa{AccessProfile::fiveg_nsa()};
+  const RadioLinkModel sa{AccessProfile::fiveg_sa_urllc()};
+  const RadioLinkModel sixg{AccessProfile::sixg()};
+  const CellConditions c = nominal();
+  EXPECT_GT(nsa.expected_rtt(c).ms(), sa.expected_rtt(c).ms());
+  EXPECT_GT(sa.expected_rtt(c).ms(), sixg.expected_rtt(c).ms());
+}
+
+TEST(Profiles, SixGMeetsSubMillisecondTarget) {
+  // She et al. [5]: 6G aims at 100 us-class radio latency; with a clean
+  // cell our model's RTT stays below 1 ms.
+  const RadioLinkModel sixg{AccessProfile::sixg()};
+  const CellConditions clean{.load = 0.1, .quality = 0.95, .bler = 0.01,
+                             .spike_rate = 0.0};
+  EXPECT_LT(sixg.expected_rtt(clean).ms(), 1.0);
+}
+
+TEST(Profiles, NsaMatchesUrbanMagnitudes) {
+  // Loaded urban NSA: tens of ms RTT — the regime the paper measured.
+  const RadioLinkModel nsa{AccessProfile::fiveg_nsa()};
+  const double rtt = nsa.expected_rtt(nominal()).ms();
+  EXPECT_GT(rtt, 15.0);
+  EXPECT_LT(rtt, 60.0);
+}
+
+// ---------------------------------------------------------------- sampling
+
+TEST(LinkModel, SampleMeanMatchesExpectedRtt) {
+  const RadioLinkModel nsa{AccessProfile::fiveg_nsa()};
+  const CellConditions c = nominal();
+  Rng rng{12};
+  stats::Summary s;
+  for (int i = 0; i < 60000; ++i) s.add(nsa.sample_rtt(c, rng).ms());
+  EXPECT_NEAR(s.mean() / nsa.expected_rtt(c).ms(), 1.0, 0.05);
+}
+
+struct ConditionCase {
+  CellConditions conditions;
+};
+
+class ExpectedVsSampled : public ::testing::TestWithParam<ConditionCase> {};
+
+TEST_P(ExpectedVsSampled, AgreeWithinTolerance) {
+  const RadioLinkModel model{AccessProfile::fiveg_nsa()};
+  const CellConditions c = GetParam().conditions;
+  Rng rng{13};
+  stats::Summary s;
+  for (int i = 0; i < 60000; ++i) s.add(model.sample_rtt(c, rng).ms());
+  EXPECT_NEAR(s.mean() / model.expected_rtt(c).ms(), 1.0, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExpectedVsSampled,
+    ::testing::Values(
+        ConditionCase{{.load = 0.1, .quality = 0.95, .bler = 0.01,
+                       .spike_rate = 0.005}},
+        ConditionCase{{.load = 0.5, .quality = 0.7, .bler = 0.1,
+                       .spike_rate = 0.02}},
+        ConditionCase{{.load = 0.74, .quality = 0.45, .bler = 0.3,
+                       .spike_rate = 0.02}},
+        ConditionCase{{.load = 0.62, .quality = 0.55, .bler = 0.22,
+                       .spike_rate = 0.12}}));
+
+TEST(LinkModel, LatencyMonotoneInLoad) {
+  const RadioLinkModel model{AccessProfile::fiveg_nsa()};
+  CellConditions lo = nominal();
+  lo.load = 0.1;
+  CellConditions hi = nominal();
+  hi.load = 0.7;
+  EXPECT_LT(model.expected_rtt(lo).ms(), model.expected_rtt(hi).ms());
+}
+
+TEST(LinkModel, LatencyMonotoneInBler) {
+  const RadioLinkModel model{AccessProfile::fiveg_nsa()};
+  CellConditions lo = nominal();
+  lo.bler = 0.01;
+  CellConditions hi = nominal();
+  hi.bler = 0.3;
+  EXPECT_LT(model.expected_rtt(lo).ms(), model.expected_rtt(hi).ms());
+}
+
+TEST(LinkModel, WorseQualityCostsMoreAirTime) {
+  const RadioLinkModel model{AccessProfile::fiveg_nsa()};
+  CellConditions good = nominal();
+  good.quality = 0.95;
+  CellConditions bad = nominal();
+  bad.quality = 0.45;
+  EXPECT_LT(model.expected_rtt(good).ms(), model.expected_rtt(bad).ms());
+}
+
+TEST(LinkModel, UplinkCarriesSchedulingOverhead) {
+  const RadioLinkModel model{AccessProfile::fiveg_nsa()};
+  const CellConditions c{.load = 0.2, .quality = 0.9, .bler = 0.0,
+                         .spike_rate = 0.0};
+  Rng rng{14};
+  stats::Summary ul;
+  stats::Summary dl;
+  for (int i = 0; i < 20000; ++i) {
+    ul.add(model.sample_uplink(c, rng).ms());
+    dl.add(model.sample_downlink(c, rng).ms());
+  }
+  EXPECT_GT(ul.mean(), dl.mean() + 3.0);  // SR wait + grant
+}
+
+TEST(LinkModel, FastHarqShortensSpikeRecovery) {
+  // Same conditions, same spike rate: 6G's spikes must be far smaller.
+  CellConditions spiky = nominal();
+  spiky.spike_rate = 1.0;  // force a spike on every direction
+  const RadioLinkModel nsa{AccessProfile::fiveg_nsa()};
+  const RadioLinkModel sixg{AccessProfile::sixg()};
+  Rng rng_a{15};
+  Rng rng_b{15};
+  stats::Summary nsa_s;
+  stats::Summary sixg_s;
+  for (int i = 0; i < 5000; ++i) {
+    nsa_s.add(nsa.sample_rtt(spiky, rng_a).ms());
+    sixg_s.add(sixg.sample_rtt(spiky, rng_b).ms());
+  }
+  EXPECT_GT(nsa_s.mean(), 10.0 * sixg_s.mean());
+}
+
+TEST(LinkModel, SamplesAreDeterministicPerSeed) {
+  const RadioLinkModel model{AccessProfile::fiveg_nsa()};
+  const CellConditions c = nominal();
+  Rng a{77};
+  Rng b{77};
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(model.sample_rtt(c, a).ns(), model.sample_rtt(c, b).ns());
+}
+
+// ------------------------------------------------------------- environment
+
+class RemFixture : public ::testing::Test {
+ protected:
+  RemFixture()
+      : grid_(geo::SectorGrid::klagenfurt_sector()),
+        pop_(geo::PopulationRaster::klagenfurt(grid_)),
+        rem_(RadioEnvironmentMap::klagenfurt(grid_, pop_)) {}
+  geo::SectorGrid grid_;
+  geo::PopulationRaster pop_;
+  RadioEnvironmentMap rem_;
+};
+
+TEST_F(RemFixture, AnchorCellsPinned) {
+  const auto c1 = rem_.at(*grid_.parse_label("C1"));
+  const auto c3 = rem_.at(*grid_.parse_label("C3"));
+  const auto b3 = rem_.at(*grid_.parse_label("B3"));
+  const auto e5 = rem_.at(*grid_.parse_label("E5"));
+  EXPECT_LT(c1.load, 0.3);       // best cell is lightly loaded
+  EXPECT_GT(c3.load, 0.7);       // worst cell is congested
+  EXPECT_LT(b3.spike_rate, 0.001);  // most stable: spike-free
+  EXPECT_GT(e5.spike_rate, 0.1);    // most bursty
+}
+
+TEST_F(RemFixture, GeneratedCellsStayInsideAnchorExtremes) {
+  const auto c3 = rem_.at(*grid_.parse_label("C3"));
+  const auto e5 = rem_.at(*grid_.parse_label("E5"));
+  for (const auto cell : grid_.all_cells()) {
+    const auto label = grid_.label(cell);
+    if (label == "C1" || label == "C3" || label == "B3" || label == "E5")
+      continue;
+    const auto& c = rem_.at(cell);
+    EXPECT_LE(c.load, c3.load) << label;
+    EXPECT_LE(c.spike_rate, e5.spike_rate) << label;
+    EXPECT_GT(c.quality, 0.0) << label;
+    EXPECT_LE(c.quality, 1.0) << label;
+    EXPECT_GE(c.bler, 0.0) << label;
+    EXPECT_LT(c.bler, 0.5) << label;
+  }
+}
+
+TEST_F(RemFixture, WorstMeanCellIsC3) {
+  const RadioLinkModel model{AccessProfile::fiveg_nsa()};
+  const double c3 = model.expected_rtt(rem_.at(*grid_.parse_label("C3"))).ms();
+  for (const auto cell : grid_.all_cells()) {
+    EXPECT_LE(model.expected_rtt(rem_.at(cell)).ms(), c3 + 1e-9)
+        << grid_.label(cell);
+  }
+}
+
+TEST_F(RemFixture, SetOverridesCell) {
+  RadioEnvironmentMap rem = rem_;
+  const auto target = *grid_.parse_label("D4");
+  CellConditions custom{.load = 0.11, .quality = 0.99, .bler = 0.001,
+                        .spike_rate = 0.001};
+  rem.set(target, custom);
+  EXPECT_DOUBLE_EQ(rem.at(target).load, 0.11);
+}
+
+TEST_F(RemFixture, DeterministicConstruction) {
+  const RadioEnvironmentMap again =
+      RadioEnvironmentMap::klagenfurt(grid_, pop_);
+  for (const auto cell : grid_.all_cells()) {
+    EXPECT_DOUBLE_EQ(again.at(cell).load, rem_.at(cell).load);
+    EXPECT_DOUBLE_EQ(again.at(cell).quality, rem_.at(cell).quality);
+  }
+}
+
+}  // namespace
+}  // namespace sixg::radio
