@@ -3,85 +3,10 @@
 // the 6G target — tying the measurement campaign to the application
 // requirement it violates.
 
-#include <cstdio>
-
-#include "apps/ar_game.hpp"
 #include "bench_util.hpp"
-#include "common/table.hpp"
-#include "core/scenario.hpp"
-#include "measurement/ping.hpp"
-#include "radio/link_model.hpp"
 
-namespace {
-
-using namespace sixg;
-
-apps::ArGameSession::Report play(const topo::EuropeTopology& world,
-                                 const radio::AccessProfile& profile,
-                                 const radio::CellConditions& conditions) {
-  const radio::RadioLinkModel radio_model{profile};
-  const meas::PingMeasurement ping{world.net, world.mobile_ue,
-                                   world.university_probe, radio_model,
-                                   conditions};
-  apps::ArGameSession::Config config;
-  config.frames = 18000;
-  const apps::ArGameSession session{
-      [&](Rng& rng) { return Duration::from_millis_f(ping.sample_ms(rng)); },
-      config};
-  return session.run();
-}
-
-}  // namespace
-
-int main() {
-  using namespace sixg;
-  bench::banner("Section IV-A", "AR game playability across regimes");
-
-  const core::KlagenfurtStudy study;
-  const auto conditions = study.rem().at(*study.grid().parse_label("C2"));
-
-  topo::EuropeOptions fixed;
-  fixed.local_breakout = true;
-  fixed.local_peering = true;
-  const auto status_quo = topo::build_europe();
-  const auto peered = topo::build_europe(fixed);
-
-  struct Row {
-    const char* regime;
-    const topo::EuropeTopology* world;
-    radio::AccessProfile profile;
-  };
-  const Row rows[] = {
-      {"5G NSA, remote breakout (measured)", &status_quo,
-       radio::AccessProfile::fiveg_nsa()},
-      {"5G NSA + local peering (V-A)", &peered,
-       radio::AccessProfile::fiveg_nsa()},
-      {"5G SA URLLC + local peering (V-B)", &peered,
-       radio::AccessProfile::fiveg_sa_urllc()},
-      {"6G target + local peering", &peered, radio::AccessProfile::sixg()},
-  };
-
-  TextTable t{{"Regime", "Mean m2p (ms)", "Consistent frames",
-               "Mis-registered throws", "Verdict"}};
-  t.set_align(0, TextTable::Align::kLeft);
-  double consistent_6g = 0.0;
-  double consistent_nsa = 0.0;
-  for (const Row& row : rows) {
-    const auto report = play(*row.world, row.profile, conditions);
-    t.add_row({row.regime, TextTable::num(report.event_m2p_ms.mean(), 1),
-               TextTable::num(report.consistent_frame_share * 100.0, 1) + " %",
-               TextTable::num(report.mis_registration_share * 100.0, 1) + " %",
-               report.playable() ? "playable" : "not playable"});
-    if (row.profile.name == "6G")
-      consistent_6g = report.consistent_frame_share;
-    if (row.world == &status_quo)
-      consistent_nsa = report.consistent_frame_share;
-  }
-  std::printf("\n%s\n", t.str().c_str());
-
-  bench::anchor("consistent frames, measured 5G (%)", consistent_nsa * 100.0,
-                "0 % (61 ms >> 20 ms budget)");
-  bench::anchor("consistent frames, 6G target (%)", consistent_6g * 100.0,
-                "~100 % (enables the use case)");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "ar-game"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("ar-game", argc, argv);
 }

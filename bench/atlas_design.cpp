@@ -5,67 +5,10 @@
 // a cell's mean RTL shrink with sample count, and what campaign duration
 // does a target precision imply at a given cadence?
 
-#include <cstdio>
-#include <vector>
-
 #include "bench_util.hpp"
-#include "common/table.hpp"
-#include "core/scenario.hpp"
-#include "measurement/atlas.hpp"
-#include "measurement/ping.hpp"
-#include "radio/link_model.hpp"
-#include "stats/bootstrap.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Methodology", "campaign precision vs sample count");
-
-  const core::KlagenfurtStudy study;
-  const auto& europe = study.europe();
-  const radio::RadioLinkModel nsa{study.access_profile()};
-
-  // Precision of the mean estimate vs n, for a calm and a bursty cell.
-  TextTable t{{"Cell", "n", "mean (ms)", "95% CI width (ms)"}};
-  t.set_align(0, TextTable::Align::kLeft);
-  for (const char* label : {"B3", "E5"}) {
-    const auto conditions = study.rem().at(*study.grid().parse_label(label));
-    const meas::PingMeasurement ping{europe.net, europe.mobile_ue,
-                                     europe.university_probe, nsa,
-                                     conditions};
-    for (const std::uint32_t n : {10u, 30u, 100u, 300u, 1000u}) {
-      Rng rng{derive_seed(0xa75, n)};
-      std::vector<double> sample(n);
-      for (auto& x : sample) x = ping.sample_ms(rng);
-      const auto ci = stats::bootstrap_mean_ci(sample, 0.95, 1500, 7);
-      double mean = 0;
-      for (double x : sample) mean += x;
-      mean /= double(n);
-      t.add_row({label, TextTable::integer(n), TextTable::num(mean, 1),
-                 TextTable::num(ci.width(), 2)});
-    }
-  }
-  std::printf("\n%s\n", t.str().c_str());
-
-  // DES fleet: same question from the scheduling side — what does one
-  // hour of a 15 s cadence actually collect, with realistic loss?
-  meas::AtlasFleet fleet{europe.net};
-  const auto probe = fleet.add_mobile_probe(
-      "drive-probe", europe.mobile_ue, nsa,
-      study.rem().at(*study.grid().parse_label("C2")));
-  meas::AtlasFleet::ScheduleOptions options;
-  options.period = Duration::seconds(15);
-  options.loss_rate = 0.02;
-  fleet.schedule_ping(probe, europe.university_probe, options);
-  const auto results = fleet.run(Duration::seconds(3600), 99);
-  std::printf("One hour at 15 s cadence: %llu scheduled, %llu lost, "
-              "mean %.1f ms (sd %.1f)\n",
-              static_cast<unsigned long long>(results[0].scheduled),
-              static_cast<unsigned long long>(results[0].lost),
-              results[0].rtt_ms.mean(), results[0].rtt_ms.stddev());
-
-  bench::anchor("samples per cell-hour at 15 s", double(results[0].scheduled),
-                "why <10-sample cells exist (short dwells)");
-  bench::anchor("suppression threshold", 10.0,
-                "paper: cells with <10 measurements read 0.0");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "atlas-design"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("atlas-design", argc, argv);
 }

@@ -2,20 +2,35 @@
 
 #include <cstdio>
 
+#include "core/registry.hpp"
+#include "core/scenarios.hpp"
+
 namespace sixg::bench {
 
-/// Shared header so every reproduction binary states what it regenerates
-/// and which paper artefact it corresponds to.
-inline void banner(const char* artefact, const char* description) {
-  std::printf("==============================================================\n");
-  std::printf("%s — %s\n", artefact, description);
-  std::printf("==============================================================\n");
-}
-
-/// One paper-vs-measured line for EXPERIMENTS.md-style accounting.
-inline void anchor(const char* what, double measured, const char* paper) {
-  std::printf("  anchor: %-42s measured %10.2f | paper %s\n", what, measured,
-              paper);
+/// Shared entry point of the reproduction binaries: every bench is a thin
+/// shim over one registered scenario, so a figure regenerates identically
+/// whether launched standalone or through `sixg_run --run <name>`. The
+/// shims take no flags — anything on the command line is rejected rather
+/// than silently ignored (use sixg_run for --seed/--threads).
+inline int run_scenario_main(const char* name, int argc = 1,
+                             char** argv = nullptr) {
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "%s: takes no arguments; use `sixg_run --run %s` for "
+                 "--seed/--threads\n",
+                 argv != nullptr ? argv[0] : "bench", name);
+    return 2;
+  }
+  auto& registry = core::ScenarioRegistry::global();
+  core::register_paper_scenarios(registry);
+  const core::Scenario* scenario = registry.find(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "scenario '%s' is not registered\n", name);
+    return 1;
+  }
+  const auto result = scenario->run(core::RunContext{});
+  std::fputs(core::render(*scenario, result).c_str(), stdout);
+  return 0;
 }
 
 }  // namespace sixg::bench

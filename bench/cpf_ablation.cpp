@@ -6,83 +6,10 @@
 //  3. handover interruption under control-plane load: core-anchored vs
 //     RIC-converged vs hybrid (the paper's recommended balance).
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "common/table.hpp"
-#include "fivegcore/session.hpp"
-#include "oran/handover.hpp"
-#include "oran/qos_xapp.hpp"
-#include "oran/ric.hpp"
-#include "stats/summary.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section V-C", "control-plane enhancement ablations");
-
-  // --- 1. session setup ------------------------------------------------
-  {
-    const core5g::SessionSetupModel model{core5g::ControlPlaneSites{}};
-    Rng rng{3};
-    stats::Summary conv_ms;
-    stats::Summary edge_ms;
-    std::uint32_t conv_msgs = 0;
-    std::uint32_t edge_msgs = 0;
-    for (int i = 0; i < 3000; ++i) {
-      const auto c = model.conventional(rng);
-      const auto e = model.converged_edge(rng);
-      conv_ms.add(c.total.ms());
-      edge_ms.add(e.total.ms());
-      conv_msgs = c.messages;
-      edge_msgs = e.messages;
-    }
-    TextTable t{{"Control plane", "Messages", "Mean setup (ms)", "Max (ms)"}};
-    t.set_align(0, TextTable::Align::kLeft);
-    t.add_row({"conventional 5G (AMF/SMF in core)",
-               TextTable::integer(conv_msgs), TextTable::num(conv_ms.mean(), 2),
-               TextTable::num(conv_ms.max(), 2)});
-    t.add_row({"converged edge control plane [38]",
-               TextTable::integer(edge_msgs), TextTable::num(edge_ms.mean(), 2),
-               TextTable::num(edge_ms.max(), 2)});
-    std::printf("\nPDU session establishment:\n%s\n", t.str().c_str());
-    bench::anchor("setup latency factor", conv_ms.mean() / edge_ms.mean(),
-                  "consolidation gain (Sec. V-C)");
-  }
-
-  // --- 2. context-aware QoS rules ---------------------------------------
-  {
-    oran::QosXApp::WorkloadParams params;
-    std::printf("Context-aware PDR/QER handling (%u rules, %u active flows, "
-                "%u flows/UE):\n%s\n",
-                params.total_rules, params.active_flows, params.flows_per_ue,
-                oran::QosXApp::comparison(params).str().c_str());
-    const auto linear =
-        oran::QosXApp::evaluate(core5g::RuleTable::Mode::kLinearScan, params);
-    const auto ctx = oran::QosXApp::evaluate(
-        core5g::RuleTable::Mode::kContextAware, params);
-    bench::anchor("lookup latency reduction",
-                  linear.lookup_ns.mean() / ctx.lookup_ns.mean(),
-                  "reduced lookup latency [32]");
-    bench::anchor("prioritised UEs simultaneously",
-                  double(ctx.prioritised_ues),
-                  "multiple flows per UE [32]");
-  }
-
-  // --- 3. handover storm -------------------------------------------------
-  {
-    const oran::HandoverModel model;
-    std::printf("Handover interruption vs control-plane load:\n%s\n",
-                model.storm_table({50.0, 400.0, 1200.0}, 2000, 0xcafe)
-                    .str()
-                    .c_str());
-  }
-
-  // --- RIC loop reference -------------------------------------------------
-  {
-    const oran::NearRtRic ric{oran::NearRtRic::Config{}};
-    bench::anchor("Near-RT RIC control loop mean (ms)",
-                  ric.expected_control_loop().ms(),
-                  "10 ms - 1 s near-RT band");
-  }
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "ablation-cpf"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("ablation-cpf", argc, argv);
 }

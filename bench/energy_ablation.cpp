@@ -2,35 +2,10 @@
 // gNB power and energy-per-bit across load for a 5G macro cell vs a 6G
 // cell with micro-sleep, plus daily energy under a diurnal profile.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "radio/energy.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section VI (future work)",
-                "energy per bit: 5G macro vs 6G with micro-sleep");
-
-  std::printf("\n%s\n", radio::GnbEnergyModel::comparison_table().str().c_str());
-
-  radio::GnbEnergyModel::Params fiveg;
-  const radio::GnbEnergyModel a{fiveg};
-  radio::GnbEnergyModel::Params sixg;
-  sixg.micro_sleep = true;
-  sixg.static_watts = 650.0;
-  sixg.cell_peak_rate = DataRate::gbps(10);
-  const radio::GnbEnergyModel b{sixg};
-
-  std::printf("Daily energy at 20 %% mean load (diurnal 3:1 swing):\n");
-  std::printf("  5G macro:          %.1f kWh\n", a.daily_kwh(0.20));
-  std::printf("  6G w/ micro-sleep: %.1f kWh\n", b.daily_kwh(0.20));
-
-  bench::anchor("energy/bit gain at 15 % load",
-                a.nj_per_bit(0.15) / b.nj_per_bit(0.15),
-                "order-of-magnitude 6G target");
-  bench::anchor("daily kWh saving (%)",
-                (1.0 - b.daily_kwh(0.20) / a.daily_kwh(0.20)) * 100.0,
-                "sleep-mode benefit at low load");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "ablation-energy"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("ablation-energy", argc, argv);
 }

@@ -5,77 +5,10 @@
 // by the loss-based congestion-control bound, so the long-RTT detour
 // throttles model uploads even when the radio has headroom.
 
-#include <cstdio>
-
-#include "apps/federated.hpp"
 #include "bench_util.hpp"
-#include "core/scenario.hpp"
-#include "measurement/ping.hpp"
-#include "radio/link_model.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section VI (future work)",
-                "federated learning rounds across network regimes");
-
-  const core::KlagenfurtStudy study;
-  const auto conditions = study.rem().at(*study.grid().parse_label("C2"));
-  const radio::RadioLinkModel nsa{study.access_profile()};
-  const radio::RadioLinkModel sixg_radio{radio::AccessProfile::sixg()};
-
-  topo::EuropeOptions fixed;
-  fixed.local_breakout = true;
-  fixed.local_peering = true;
-  const auto peered = topo::build_europe(fixed);
-  const auto& detour_world = study.europe();
-
-  const meas::PingMeasurement cloud_ping{detour_world.net,
-                                         detour_world.mobile_ue,
-                                         detour_world.university_probe, nsa,
-                                         conditions};
-  const meas::PingMeasurement edge_ping{peered.net, peered.mobile_ue,
-                                        peered.university_probe, nsa,
-                                        conditions};
-  const meas::PingMeasurement sixg_ping{peered.net, peered.mobile_ue,
-                                        peered.university_probe, sixg_radio,
-                                        conditions};
-
-  constexpr double kTransitLoss = 3e-4;  // shared public transit
-  constexpr double kLocalLoss = 5e-5;    // clean local fabric
-
-  const auto run_regime = [&](const meas::PingMeasurement& ping,
-                              double loss) {
-    // Estimate the regime's RTT for the congestion bound.
-    Rng probe_rng{1};
-    stats::Summary rtt_ms;
-    for (int i = 0; i < 400; ++i) rtt_ms.add(ping.sample_ms(probe_rng));
-    apps::FederatedRoundModel::Config config;
-    config.uplink_rate = apps::effective_uplink(
-        config.uplink_rate, Duration::from_millis_f(rtt_ms.mean()), loss);
-    const apps::FederatedRoundModel model{
-        [&ping](Rng& rng) {
-          return Duration::from_millis_f(ping.sample_ms(rng) / 2.0);
-        },
-        config};
-    return model.run();
-  };
-
-  const std::vector<apps::FederatedScenario> scenarios{
-      {"cloud aggregator, 5G + detour", run_regime(cloud_ping, kTransitLoss)},
-      {"edge aggregator, 5G + peering", run_regime(edge_ping, kLocalLoss)},
-      {"edge aggregator, 6G + peering", run_regime(sixg_ping, kLocalLoss)},
-  };
-  std::printf("\n%s\n", apps::federated_comparison(scenarios).str().c_str());
-
-  const double cloud_s = scenarios[0].report.round_seconds.mean();
-  const double edge_s = scenarios[1].report.round_seconds.mean();
-  const double sixg_s = scenarios[2].report.round_seconds.mean();
-  bench::anchor("round speedup, edge vs cloud", cloud_s / edge_s,
-                "edge aggregation wins (Sec. VI)");
-  bench::anchor("round speedup, 6G edge vs cloud", cloud_s / sixg_s,
-                "6G compounds the gain");
-  bench::anchor("network share at cloud (%)",
-                scenarios[0].report.network_share * 100.0,
-                "network-bound FL on detoured 5G");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "federated-edge"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("federated-edge", argc, argv);
 }

@@ -4,56 +4,10 @@
 // drive traces of the measurement nodes, and the resulting per-cell
 // measurement counts whose variation the paper attributes to traffic flow.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "core/scenario.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Figure 1", "grid segmentation and campaign design");
-
-  const core::KlagenfurtStudy study;
-  const auto& grid = study.grid();
-  const auto& pop = study.population();
-
-  // Census grid: density per cell, marking the paper's <1000 /km^2
-  // under-sampling criterion.
-  std::printf("\nPopulation density per cell (inhabitants/km^2, * = sparse "
-              "<1000):\n");
-  for (int row = 0; row < grid.rows(); ++row) {
-    std::printf("  %c ", char('A' + row));
-    for (int col = 0; col < grid.cols(); ++col) {
-      const geo::CellIndex c{row, col};
-      std::printf("%7.0f%c", pop.density(c), pop.sparse(c) ? '*' : ' ');
-    }
-    std::printf("\n");
-  }
-  std::printf("  sector population: %.0f\n", pop.total_population());
-
-  // Drive traces.
-  const meas::GridCampaign campaign{
-      grid,          pop,
-      study.rem(),   study.europe().net,
-      study.europe().mobile_ue, study.europe().university_probe,
-      study.access_profile(), study.campaign_config()};
-  const auto plans = campaign.plans();
-  std::printf("\nDrive traces (%zu mobile nodes):\n", plans.size());
-  for (std::size_t n = 0; n < plans.size(); ++n) {
-    std::printf("  node %zu: %4zu cell visits over %s, %d distinct cells\n",
-                n, plans[n].visits().size(),
-                plans[n].total_duration().str().c_str(),
-                plans[n].traversed_cell_count(grid));
-  }
-
-  // Resulting sample counts.
-  const netsim::ParallelRunner runner;
-  const auto report = campaign.run(runner);
-  std::printf("\nMeasurement counts per cell ('-' = not traversed):\n%s",
-              report.count_table().str().c_str());
-
-  bench::anchor("traversed cells", report.traversed_count(), "33");
-  bench::anchor("suppressed cells (<10 samples)", report.suppressed_count(),
-                "\"a few\" (border regions)");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "fig1"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("fig1", argc, argv);
 }

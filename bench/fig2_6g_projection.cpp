@@ -3,54 +3,10 @@
 // locally peered fabric — what the paper's grid would look like once the
 // Section V recommendations are deployed.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "core/scenario.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Figure 2 (projection)",
-                "the drive-test grid under the recommended 6G stack");
-
-  // The measured world, for reference.
-  const core::KlagenfurtStudy measured;
-  const auto measured_report = measured.run_campaign();
-
-  // Fixed world: local breakout + peering.
-  core::KlagenfurtStudy::Options options;
-  options.europe.local_breakout = true;
-  options.europe.local_peering = true;
-  const core::KlagenfurtStudy fixed{options};
-
-  const auto run_with = [&](const radio::AccessProfile& profile) {
-    const meas::GridCampaign campaign{
-        fixed.grid(),          fixed.population(),
-        fixed.rem(),           fixed.europe().net,
-        fixed.europe().mobile_ue, fixed.europe().university_probe,
-        profile, fixed.campaign_config()};
-    const netsim::ParallelRunner runner;
-    return campaign.run(runner);
-  };
-
-  const auto sa_report = run_with(radio::AccessProfile::fiveg_sa_urllc());
-  const auto sixg_report = run_with(radio::AccessProfile::sixg());
-
-  std::printf("\n5G-SA URLLC + local peering, mean RTL per cell (ms):\n%s\n",
-              sa_report.mean_table().str().c_str());
-  std::printf("6G target + local peering, mean RTL per cell (ms):\n%s\n",
-              sixg_report.mean_table().str().c_str());
-
-  const auto measured_span = measured_report.mean_of_cell_means();
-  const auto sa_span = sa_report.mean_of_cell_means();
-  const auto sixg_span = sixg_report.mean_of_cell_means();
-  bench::anchor("measured 5G grid mean (ms)", measured_span.mean(),
-                "61-110 ms band (Fig. 2)");
-  bench::anchor("SA+peering grid mean (ms)", sa_span.mean(),
-                "5-6.2 ms class (Sec. V-B)");
-  bench::anchor("6G grid mean (ms)", sixg_span.mean(),
-                "sub-1 ms goal (Sec. II-A)");
-  bench::anchor("max cell under 6G (ms)", sixg_report.max_mean().value,
-                "every cell meets the AR budget");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "fig2-6g"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("fig2-6g", argc, argv);
 }

@@ -3,33 +3,10 @@
 // mobile nodes behind 5G NSA pinging the university reference probe over
 // the carrier's detoured Internet path.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "core/scenario.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Figure 2", "urban mean round-trip latency per cell (ms)");
-
-  const core::KlagenfurtStudy study;
-  const auto report = study.run_campaign();
-
-  std::printf("\n%s", report.mean_table().str().c_str());
-  std::printf("(0.0 = traversed but fewer than %u measurements; '-' = not "
-              "traversed)\n\n",
-              report.min_samples());
-
-  const auto min_mean = report.min_mean();
-  const auto max_mean = report.max_mean();
-  const auto wired = study.wired_baseline();
-  const double ratio = report.mean_of_cell_means().mean() / wired.mean();
-
-  bench::anchor(("min cell mean @ " + min_mean.label).c_str(), min_mean.value,
-                "61 ms @ C1");
-  bench::anchor(("max cell mean @ " + max_mean.label).c_str(), max_mean.value,
-                "110 ms @ C3");
-  bench::anchor("wired baseline mean (ms)", wired.mean(), "1-11 ms [3]");
-  bench::anchor("mobile/wired mean ratio", ratio, "~7x");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "fig2"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("fig2", argc, argv);
 }

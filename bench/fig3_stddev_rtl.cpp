@@ -3,25 +3,10 @@
 // extremes are the almost-deterministic B3 (1.8 ms) and the bursty E5
 // (46.4 ms).
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "core/scenario.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Figure 3", "per-cell RTL standard deviation (ms)");
-
-  const core::KlagenfurtStudy study;
-  const auto report = study.run_campaign();
-
-  std::printf("\n%s\n", report.stddev_table().str().c_str());
-
-  const auto min_sd = report.min_stddev();
-  const auto max_sd = report.max_stddev();
-  bench::anchor(("min cell stddev @ " + min_sd.label).c_str(), min_sd.value,
-                "1.8 ms @ B3");
-  bench::anchor(("max cell stddev @ " + max_sd.label).c_str(), max_sd.value,
-                "46.4 ms @ E5");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "fig3"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("fig3", argc, argv);
 }

@@ -3,66 +3,10 @@
 // Klagenfurt -> Vienna -> Prague -> Bucharest -> Vienna -> Klagenfurt
 // totalling ~2,500 km for a pair of endpoints 2 km apart.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "common/table.hpp"
-#include "core/scenario.hpp"
-#include "geo/gazetteer.hpp"
-#include "topo/traceroute.hpp"
 
-namespace {
-/// Nearest gazetteer city to a position (the "map pin" of Figure 4).
-std::string nearest_city(const sixg::geo::LatLon& pos) {
-  const auto& gaz = sixg::geo::Gazetteer::central_europe();
-  std::string best = "?";
-  double best_km = 1e18;
-  for (const auto& city : gaz.cities()) {
-    const double d = sixg::geo::distance_km(pos, city.position);
-    if (d < best_km) {
-      best_km = d;
-      best = city.name;
-    }
-  }
-  return best;
-}
-}  // namespace
-
-int main() {
-  using namespace sixg;
-  bench::banner("Figure 4", "geographic data trace of the local request");
-
-  const core::KlagenfurtStudy study;
-  const auto& europe = study.europe();
-  const auto path =
-      europe.net.find_path(europe.mobile_ue, europe.university_probe);
-
-  TextTable t{{"Leg", "From", "To", "City", "Leg km", "Cum. km"}};
-  t.set_align(1, TextTable::Align::kLeft);
-  t.set_align(2, TextTable::Align::kLeft);
-  t.set_align(3, TextTable::Align::kLeft);
-  double cum = 0.0;
-  for (std::size_t i = 0; i < path.links.size(); ++i) {
-    const auto& link = europe.net.link(path.links[i]);
-    const auto& from = europe.net.node(path.nodes[i]);
-    const auto& to = europe.net.node(path.nodes[i + 1]);
-    cum += link.length_km;
-    t.add_row({TextTable::integer(std::int64_t(i + 1)), from.name, to.name,
-               nearest_city(to.position), TextTable::num(link.length_km, 0),
-               TextTable::num(cum, 0)});
-  }
-  std::printf("\n%s\n", t.str().c_str());
-
-  // The Vienna->Prague->Bucharest->Vienna loop called out in the paper.
-  const auto& gaz = geo::Gazetteer::central_europe();
-  const double loop_km = gaz.distance_km("Vienna", "Prague") +
-                         gaz.distance_km("Prague", "Bucharest") +
-                         gaz.distance_km("Bucharest", "Vienna");
-
-  bench::anchor("total routed distance (km)", path.distance_km, "2544 km");
-  bench::anchor("Vienna-Prague-Bucharest-Vienna loop (km)", loop_km,
-                "the detour Fig. 4 shows");
-  bench::anchor("deterministic one-way floor (ms)", path.base_one_way.ms(),
-                "majority of the 65 ms RTL");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "fig4"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("fig4", argc, argv);
 }

@@ -2,45 +2,10 @@
 // excess over the AR frame budget, the ~7x mobile/wired ratio, and the
 // ~35 ms application-layer addition reported by Tutti [21].
 
-#include <cstdio>
-
-#include "apps/protocols.hpp"
 #include "bench_util.hpp"
-#include "core/gap.hpp"
-#include "core/scenario.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section IV-C", "gap analysis of the measured 5G deployment");
-
-  const core::KlagenfurtStudy study;
-  const auto report = study.run_campaign();
-  const auto wired = study.wired_baseline();
-
-  const core::GapAnalysis gap{
-      report, wired,
-      core::RequirementsRegistry::paper_registry().binding_requirement()};
-  std::printf("\n%s\n", gap.summary_table().str().c_str());
-
-  const auto& f = gap.findings();
-  bench::anchor("requirement excess (%)", f.requirement_excess_percent,
-                "~270 %");
-  bench::anchor("mobile/wired ratio", f.mobile_over_wired, "~7x");
-
-  // Application layer on top of network RTL (Tutti [21]: +35 ms average;
-  // our protocol models: broker/stack overhead both ways + processing).
-  Rng rng{5};
-  stats::Summary app_added;
-  for (int i = 0; i < 4000; ++i) {
-    const Duration overhead =
-        apps::ProtocolOverheadModel::sample_overhead(apps::IotProtocol::kMqtt,
-                                                     rng) +
-        apps::ProtocolOverheadModel::sample_overhead(apps::IotProtocol::kMqtt,
-                                                     rng) +
-        Duration::from_millis_f(18.0);  // service-side inference/render
-    app_added.add(overhead.ms());
-  }
-  bench::anchor("application-layer addition (ms)", app_added.mean(),
-                "+35 ms on average [21][22]");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "gap-analysis"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("gap-analysis", argc, argv);
 }

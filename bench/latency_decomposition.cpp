@@ -4,80 +4,10 @@
 // processing and queueing — and shows how each Section V fix removes its
 // share.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "common/table.hpp"
-#include "core/scenario.hpp"
-#include "measurement/ping.hpp"
-#include "radio/link_model.hpp"
-#include "stats/summary.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("DESIGN ablation", "decomposition of the measured RTL");
-
-  const core::KlagenfurtStudy study;
-  const auto& europe = study.europe();
-  const auto& net = europe.net;
-  const auto path = net.find_path(europe.mobile_ue, europe.university_probe);
-
-  // Deterministic wired components (one way, doubled for RTT).
-  Duration propagation;
-  Duration extra;
-  Duration processing;
-  for (std::size_t i = 0; i < path.links.size(); ++i) {
-    const auto& link = net.link(path.links[i]);
-    propagation += link.propagation();
-    extra += link.extra_latency;
-    if (i + 1 < path.links.size())
-      processing += net.node(path.nodes[i + 1]).processing_delay;
-  }
-
-  // Stochastic components.
-  Rng rng{23};
-  stats::Summary queueing_ms;
-  for (int s = 0; s < 4000; ++s) {
-    Duration q;
-    for (const auto link : path.links) {
-      q += net.sample_queueing(link, rng);
-      q += net.sample_queueing(link, rng);
-    }
-    queueing_ms.add(q.ms());
-  }
-  const radio::RadioLinkModel nsa{study.access_profile()};
-  const auto c2 = study.rem().at(*study.grid().parse_label("C2"));
-  const double radio_ms = nsa.expected_rtt(c2).ms();
-
-  TextTable t{{"Component", "RTT share (ms)", "Removed by"}};
-  t.set_align(0, TextTable::Align::kLeft);
-  t.set_align(2, TextTable::Align::kLeft);
-  t.add_row({"5G radio access (C2 conditions)", TextTable::num(radio_ms, 1),
-             "V-B access evolution / 6G"});
-  t.add_row({"detour propagation (2x2659 km fibre)",
-             TextTable::num(2.0 * propagation.ms(), 1), "V-A local peering"});
-  t.add_row({"carrier extras (CGNAT, access tails)",
-             TextTable::num(2.0 * extra.ms(), 1),
-             "V-B UPF integration (local breakout)"});
-  t.add_row({"per-hop forwarding (10 hops)",
-             TextTable::num(2.0 * processing.ms(), 1),
-             "V-A fewer hops"});
-  t.add_row({"public-Internet queueing (mean)",
-             TextTable::num(queueing_ms.mean(), 1), "V-A shorter path"});
-  const double total = radio_ms + 2.0 * propagation.ms() + 2.0 * extra.ms() +
-                       2.0 * processing.ms() + queueing_ms.mean();
-  t.add_row({"TOTAL (expected)", TextTable::num(total, 1), "-"});
-  std::printf("\n%s\n", t.str().c_str());
-
-  // Cross-check against the sampled end-to-end mean.
-  const meas::PingMeasurement ping{net, europe.mobile_ue,
-                                   europe.university_probe, nsa, c2};
-  Rng rng2{29};
-  const auto sampled = ping.run(3000, rng2);
-  bench::anchor("decomposition total (ms)", total, "matches sampled mean");
-  bench::anchor("sampled end-to-end mean (ms)", sampled.summary_ms.mean(),
-                "Fig. 2 C2-class cell");
-  bench::anchor("radio share of total (%)", radio_ms / total * 100.0,
-                "access dominates after peering");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "latency-decomposition"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("latency-decomposition", argc, argv);
 }

@@ -3,46 +3,10 @@
 // and compares the UE->probe path before and after: hops, routed
 // kilometres, and RTL under 5G and wired access.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "core/whatif.hpp"
-#include "topo/traceroute.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section V-A", "local peering optimisation ablation");
-
-  const core::WhatIfEngine engine;
-  const auto results = engine.local_peering();
-
-  TextTable t{{"Metric", "Before", "After", "Unit", "Factor"}};
-  t.set_align(0, TextTable::Align::kLeft);
-  for (const auto& r : results) {
-    t.add_row({r.metric, TextTable::num(r.before, 2),
-               TextTable::num(r.after, 2), r.unit,
-               TextTable::num(r.improvement_factor(), 2) + "x"});
-  }
-  std::printf("\n%s\n", t.str().c_str());
-
-  // Show the collapsed traceroute for the peered world.
-  topo::EuropeOptions fixed;
-  fixed.local_breakout = true;
-  fixed.local_peering = true;
-  const auto peered = topo::build_europe(fixed);
-  Rng rng{17};
-  const auto trace = topo::traceroute(peered.net, peered.mobile_ue,
-                                      peered.university_probe, rng);
-  std::printf("Traceroute with local peering:\n%s\n",
-              trace.table().str().c_str());
-
-  for (const auto& r : results) {
-    if (r.metric == "UE->probe network hops")
-      bench::anchor("hops after peering", r.after, "vs 10 before (Table I)");
-    if (r.metric == "routed distance")
-      bench::anchor("routed km after peering", r.after, "vs 2544 before");
-    if (r.metric == "RTL: mobile status quo vs wired on peered fabric")
-      bench::anchor("wired RTL on peered fabric (ms)", r.after, "1-11 ms [3]");
-  }
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "ablation-peering"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("ablation-peering", argc, argv);
 }

@@ -5,51 +5,10 @@
 // MmWavePhyModel and contrast it with the mid-band NSA cell the drive
 // test used.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "core/scenario.hpp"
-#include "radio/link_model.hpp"
-#include "radio/mmwave.hpp"
-#include "stats/histogram.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section IV-C (PHY)",
-                "mmWave layer-1/2 latency distribution [22]");
-
-  const radio::MmWavePhyModel phy;
-  Rng rng{31};
-  stats::Histogram hist{0.0, 20.0, 80};
-  for (int i = 0; i < 300000; ++i)
-    hist.add(phy.sample_one_way(rng).ms());
-
-  std::printf("\nmmWave PHY one-way latency CDF:\n");
-  for (const double ms : {0.5, 1.0, 2.0, 3.0, 5.0, 10.0}) {
-    std::printf("  P(latency < %4.1f ms) = %6.2f %%\n", ms,
-                hist.cdf(ms) * 100.0);
-  }
-
-  bench::anchor("share under 1 ms (%)", hist.cdf(1.0) * 100.0, "4.4 % [22]");
-  bench::anchor("share under 3 ms (%)", hist.cdf(3.0) * 100.0,
-                "22.36 % [22]");
-
-  // The same statistic for the mid-band NSA access of the drive test:
-  // the access the paper's campaign actually traversed is slower still.
-  const core::KlagenfurtStudy study;
-  const radio::RadioLinkModel nsa{study.access_profile()};
-  stats::Histogram nsa_hist{0.0, 120.0, 60};
-  const auto cells = study.grid().all_cells();
-  for (int i = 0; i < 100000; ++i) {
-    const auto cell = cells[rng.uniform_int(cells.size())];
-    nsa_hist.add(nsa.sample_downlink(study.rem().at(cell), rng).ms());
-  }
-  std::printf("\nMid-band NSA one-way (downlink, full stack) for contrast:\n");
-  for (const double ms : {1.0, 3.0, 10.0, 20.0}) {
-    std::printf("  P(latency < %4.1f ms) = %6.2f %%\n", ms,
-                nsa_hist.cdf(ms) * 100.0);
-  }
-  bench::anchor("NSA downlink share under 3 ms (%)", nsa_hist.cdf(3.0) * 100.0,
-                "application-visible access is slower than PHY");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "phy-latency"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("phy-latency", argc, argv);
 }

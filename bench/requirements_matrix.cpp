@@ -4,46 +4,10 @@
 // table (4 TB/day vehicles, 5 TB/day factory lines, ...) and the
 // 125-billion-device scalability arithmetic.
 
-#include <cstdio>
-
-#include "apps/traffic.hpp"
 #include "bench_util.hpp"
-#include "core/requirements.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Sections II-III", "requirements analysis and feasibility");
-
-  const auto& registry = core::RequirementsRegistry::paper_registry();
-  const std::vector<core::GenerationProfile> generations{
-      core::GenerationProfile::fiveg_claimed(),
-      core::GenerationProfile::fiveg_measured_urban(),
-      core::GenerationProfile::sixg_target(),
-  };
-  std::printf("\nFeasibility matrix (latency! = RTT budget violated):\n%s\n",
-              registry.feasibility_matrix(generations).str().c_str());
-
-  std::printf("Domain traffic profiles (Sec. III-B/III-C):\n%s\n",
-              apps::DomainTraffic::matrix().str().c_str());
-
-  const apps::ScalabilityModel scalability;
-  std::printf("Scalability (Sec. II-C/III-C): 2030 forecast %.0f billion "
-              "devices over %.1f M km^2 urban area\n",
-              scalability.forecast_devices_2030 / 1e9,
-              scalability.urbanised_area_km2 / 1e6);
-  std::printf("  required density: %.0f devices/km^2\n",
-              scalability.required_density());
-  std::printf("  5G admits %.0f /km^2 -> %s\n",
-              scalability.devices_per_km2_5g,
-              scalability.feasible_5g() ? "feasible" : "INSUFFICIENT");
-  std::printf("  6G admits %.0f /km^2 -> %s\n",
-              scalability.devices_per_km2_6g,
-              scalability.feasible_6g() ? "feasible" : "INSUFFICIENT");
-
-  bench::anchor("binding requirement (ms)",
-                registry.binding_requirement().user_perceived.ms(),
-                "16.6 ms (60 FPS)");
-  bench::anchor("6G device density (/km^2)", scalability.devices_per_km2_6g,
-                "hundreds of thousands+ [9]");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "requirements"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("requirements", argc, argv);
 }

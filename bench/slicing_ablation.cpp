@@ -3,99 +3,10 @@
 // reactive vs predictive reconfiguration, and admission control of the
 // paper's application slices with and without the local-peering fix.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "geo/gazetteer.hpp"
-#include "slicing/admission.hpp"
-#include "slicing/hypervisor.hpp"
-#include "slicing/reconfig.hpp"
-#include "topo/europe.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section V-C (slicing)", "hypervisor placement, "
-                "reconfiguration policy, slice admission");
-
-  // --- hypervisor placement ----------------------------------------------
-  const auto& gaz = geo::Gazetteer::central_europe();
-  std::vector<slicing::HypervisorSite> sites;
-  std::uint32_t id = 0;
-  for (const char* city : {"Vienna", "Graz", "Ljubljana"}) {
-    sites.push_back(slicing::HypervisorSite{id++, city,
-                                            gaz.find(city)->position, 8.0});
-  }
-  const slicing::HypervisorPlacer placer{sites};
-
-  std::vector<slicing::SliceEndpoint> endpoints;
-  std::uint32_t slice_id = 0;
-  for (const char* home : {"Klagenfurt", "Zagreb", "Bratislava", "Munich"}) {
-    for (const auto& spec :
-         {slicing::SliceSpec::ar_gaming(slice_id + 1),
-          slicing::SliceSpec::remote_surgery(slice_id + 2),
-          slicing::SliceSpec::video_streaming(slice_id + 3)}) {
-      endpoints.push_back(
-          slicing::SliceEndpoint{spec, gaz.find(home)->position, 1.0});
-    }
-    slice_id += 10;
-  }
-
-  std::vector<slicing::PlacementOutcome> outcomes;
-  for (const auto strategy : {slicing::PlacementStrategy::kLatencyAware,
-                              slicing::PlacementStrategy::kResilienceAware,
-                              slicing::PlacementStrategy::kLoadBalanced}) {
-    outcomes.push_back(placer.place(endpoints, strategy));
-  }
-  std::printf("\nHypervisor placement (%zu slices, %zu candidate sites):\n%s\n",
-              endpoints.size(), sites.size(),
-              slicing::HypervisorPlacer::comparison(outcomes).str().c_str());
-  bench::anchor("latency-aware worst ctrl RTT (ms)",
-                outcomes[0].worst_control_rtt_ms, "latency objective [41]");
-  bench::anchor("resilience failover coverage (%)",
-                outcomes[1].failover_coverage * 100.0,
-                "resilience objective [42]");
-
-  // --- reactive vs predictive -----------------------------------------------
-  const slicing::ReconfigStudy::Params params;
-  std::printf("Reconfiguration policy over a 24 h diurnal day with random "
-              "surges:\n%s\n",
-              slicing::ReconfigStudy::comparison(params).str().c_str());
-  const auto reactive =
-      slicing::ReconfigStudy::run(slicing::ReconfigPolicy::kReactive, params);
-  const auto predictive = slicing::ReconfigStudy::run(
-      slicing::ReconfigPolicy::kPredictive, params);
-  bench::anchor("violation steps reactive", double(reactive.violations),
-                "reactive operation (Sec. V-C)");
-  bench::anchor("violation steps predictive", double(predictive.violations),
-                "predictive goal (Sec. V-C)");
-
-  // --- admission: URLLC slices need the short path -------------------------
-  const auto admit_study = [&](bool peered) {
-    topo::EuropeOptions options;
-    options.local_breakout = peered;
-    options.local_peering = peered;
-    const auto world = topo::build_europe(options);
-    slicing::SliceAdmission admission{world.net,
-                                      slicing::SliceAdmission::Config{}};
-    int admitted = 0;
-    const std::vector<slicing::SliceSpec> specs{
-        slicing::SliceSpec::ar_gaming(1), slicing::SliceSpec::remote_surgery(2),
-        slicing::SliceSpec::vehicle_coordination(3),
-        slicing::SliceSpec::video_streaming(4),
-        slicing::SliceSpec::sensor_swarm(5)};
-    for (const auto& spec : specs) {
-      if (admission.admit(spec, world.mobile_ue, world.university_probe))
-        ++admitted;
-    }
-    return admitted;
-  };
-  const int without = admit_study(false);
-  const int with = admit_study(true);
-  std::printf("Slice admission UE->university (5 requested):\n");
-  std::printf("  over the detour:        %d admitted (URLLC budgets fail on "
-              "the path floor)\n", without);
-  std::printf("  with local peering:     %d admitted\n", with);
-  bench::anchor("URLLC admissible only with local path", double(with - without),
-                "slicing needs the V-A/V-B fixes");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "ablation-slicing"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("ablation-slicing", argc, argv);
 }

@@ -4,82 +4,10 @@
 // regenerate both factors and the latency distributions, plus the rule
 // table scaling behaviour underneath.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "common/table.hpp"
-#include "fivegcore/upf.hpp"
-#include "stats/histogram.hpp"
-#include "stats/summary.hpp"
 
-namespace {
-
-using namespace sixg;
-
-struct DatapathRow {
-  const char* name;
-  core5g::UpfDatapath datapath;
-};
-
-}  // namespace
-
-int main() {
-  using namespace sixg;
-  bench::banner("Section V-B (SmartNIC)",
-                "host vs SmartNIC UPF datapath comparison");
-
-  const DatapathRow datapaths[] = {
-      {"host CPU", core5g::UpfDatapath::kHostCpu},
-      {"SmartNIC", core5g::UpfDatapath::kSmartNic},
-  };
-
-  TextTable t{{"Datapath", "Mean pkt latency (us)", "p50 (us)", "p99 (us)",
-               "Throughput (Mpps)"}};
-  t.set_align(0, TextTable::Align::kLeft);
-
-  double host_mean = 0.0;
-  double nic_mean = 0.0;
-  double host_tput = 0.0;
-  double nic_tput = 0.0;
-  for (const auto& row : datapaths) {
-    core5g::Upf upf{core5g::Upf::Config{.name = row.name,
-                                        .datapath = row.datapath}};
-    (void)upf.rules().add_rule(core5g::PdrRule{1, 42, 1, 0, 0});
-    Rng rng{99};
-    stats::Summary lat_us;
-    stats::QuantileSample q;
-    for (int i = 0; i < 100000; ++i) {
-      const double us = upf.sample_packet_latency(42, rng).us();
-      lat_us.add(us);
-      q.add(us);
-    }
-    t.add_row({row.name, TextTable::num(lat_us.mean(), 2),
-               TextTable::num(q.quantile(0.5), 2),
-               TextTable::num(q.quantile(0.99), 2),
-               TextTable::num(upf.max_throughput_mpps(), 1)});
-    if (row.datapath == core5g::UpfDatapath::kHostCpu) {
-      host_mean = lat_us.mean();
-      host_tput = upf.max_throughput_mpps();
-    } else {
-      nic_mean = lat_us.mean();
-      nic_tput = upf.max_throughput_mpps();
-    }
-  }
-  std::printf("\n%s\n", t.str().c_str());
-
-  bench::anchor("latency reduction factor", host_mean / nic_mean, "3.75x [33]");
-  bench::anchor("throughput factor", nic_tput / host_tput, "2x [32]");
-
-  // Rule-table scaling: lookup cost vs installed rules (linear scan).
-  std::printf("\nLinear-scan lookup cost vs table size (flow at the tail):\n");
-  for (const std::size_t rules : {64u, 256u, 1024u, 4096u}) {
-    core5g::RuleTable table{core5g::RuleTable::Mode::kLinearScan};
-    for (std::size_t i = 0; i < rules; ++i)
-      (void)table.add_rule(
-          core5g::PdrRule{std::uint32_t(i), 1000 + i, 0, int(i), 0});
-    const auto outcome = table.lookup(1000 + rules - 1);
-    std::printf("  %5zu rules -> %7.2f us\n", rules,
-                outcome.latency.us());
-  }
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "smartnic-upf"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("smartnic-upf", argc, argv);
 }

@@ -3,45 +3,10 @@
 // RIPE-Atlas-like probe at the university (cell E3) — two endpoints less
 // than 5 km apart whose traffic crosses half the continent.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "core/scenario.hpp"
-#include "measurement/ping.hpp"
-#include "radio/link_model.hpp"
-#include "topo/traceroute.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Table I", "networking hops for a local service request");
-
-  const core::KlagenfurtStudy study;
-  const auto& europe = study.europe();
-  Rng rng{7};
-
-  const auto trace = topo::traceroute(europe.net, europe.mobile_ue,
-                                      europe.university_probe, rng);
-  std::printf("\n%s\n", trace.table().str().c_str());
-
-  // End-to-end RTL of the same request including the 5G access in C2.
-  const auto c2 = study.grid().parse_label("C2");
-  const radio::RadioLinkModel nsa{study.access_profile()};
-  const meas::PingMeasurement ping{europe.net, europe.mobile_ue,
-                                   europe.university_probe, nsa,
-                                   study.rem().at(*c2)};
-  Rng ping_rng{11};
-  const auto result = ping.run(500, ping_rng);
-
-  const double straight = geo::distance_km(
-      europe.net.node(europe.mobile_ue).position,
-      europe.net.node(europe.university_probe).position);
-
-  bench::anchor("network hops", double(trace.hop_count()), "10");
-  bench::anchor("network-layer RTL (ms)", trace.rtt_ms, "part of 65 ms");
-  bench::anchor("end-to-end RTL incl. 5G access, best (ms)",
-                result.summary_ms.min(), "65 ms (single trace)");
-  bench::anchor("end-to-end RTL incl. 5G access, mean (ms)",
-                result.summary_ms.mean(), ">62 ms (Sec. V-B)");
-  bench::anchor("UE->probe straight-line distance (km)", straight, "<5 km");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "table1"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("table1", argc, argv);
 }

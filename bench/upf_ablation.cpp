@@ -3,66 +3,10 @@
 // (5G-NSA / 5G-SA URLLC / 6G) and reproduces the paper's 62 ms -> 5-6.2 ms
 // (~90 % reduction) progression, plus the dynamic-selection policy.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "fivegcore/placement.hpp"
-#include "fivegcore/selector.hpp"
-#include "topo/europe.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section V-B", "UPF placement x access generation sweep");
-
-  topo::EuropeOptions options;
-  options.local_breakout = true;
-  const auto europe = topo::build_europe(options);
-  const core5g::UpfPlacementStudy study{europe,
-                                        core5g::UpfPlacementStudy::Config{}};
-  const auto rows = study.sweep();
-  std::printf("\n%s\n", core5g::UpfPlacementStudy::table(rows).str().c_str());
-
-  double baseline = 0.0;
-  double edge_sa = 0.0;
-  double metro_sa = 0.0;
-  double edge_6g = 0.0;
-  for (const auto& r : rows) {
-    if (r.placement == core5g::UpfPlacement::kNone) baseline = r.mean_rtt_ms;
-    if (r.placement == core5g::UpfPlacement::kEdge &&
-        r.access_profile == "5G-SA-URLLC")
-      edge_sa = r.mean_rtt_ms;
-    if (r.placement == core5g::UpfPlacement::kMetro &&
-        r.access_profile == "5G-SA-URLLC")
-      metro_sa = r.mean_rtt_ms;
-    if (r.placement == core5g::UpfPlacement::kEdge &&
-        r.access_profile == "6G")
-      edge_6g = r.mean_rtt_ms;
-  }
-  bench::anchor("baseline (remote breakout, 5G-NSA) ms", baseline,
-                "exceeding 62 ms");
-  bench::anchor("edge..metro UPF + capable 5G (ms)", edge_sa,
-                "5-6.2 ms [30][31]");
-  bench::anchor("  (metro bound)", metro_sa, "5-6.2 ms [30][31]");
-  bench::anchor("reduction, edge+SA vs baseline (%)",
-                (1.0 - edge_sa / baseline) * 100.0, "up to 90 %");
-  bench::anchor("edge UPF + 6G target (ms)", edge_6g, "below 1 ms (Sec. V-B)");
-
-  // Dynamic UPF selection: latency-critical flows to the edge, bulk to the
-  // cloud, graceful degradation when the edge fills up.
-  Rng rng{2024};
-  const auto flows = core5g::synthesize_flows(400, 0.15, 0.35, rng);
-  core5g::DynamicUpfSelector selector{core5g::DynamicUpfSelector::Config{}};
-  const auto assignments = selector.assign(flows);
-  int critical_total = 0;
-  int critical_edge = 0;
-  for (const auto& a : assignments) {
-    if (a.flow_class == core5g::FlowClass::kLatencyCritical) {
-      ++critical_total;
-      if (a.anchor == core5g::UpfPlacement::kEdge) ++critical_edge;
-    }
-  }
-  std::printf("\nDynamic UPF selection: %d of %d latency-critical flows at "
-              "the edge (capacity-limited), rest degrade to metro.\n",
-              critical_edge, critical_total);
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "ablation-upf"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("ablation-upf", argc, argv);
 }

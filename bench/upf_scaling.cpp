@@ -2,36 +2,10 @@
 // session trace — static vs reactive vs predictive pattern-aware scaling,
 // trading SLA-violation minutes against instance-hours.
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "fivegcore/autoscale.hpp"
 
-int main() {
-  using namespace sixg;
-  bench::banner("Section V-B ([29])", "UPF instance autoscaling policies");
-
-  const core5g::UpfAutoscaleStudy::Params params;
-  std::printf("\n%s\n",
-              core5g::UpfAutoscaleStudy::comparison(params).str().c_str());
-
-  const auto statics =
-      core5g::UpfAutoscaleStudy::run(core5g::ScalingPolicy::kStatic, params);
-  const auto reactive =
-      core5g::UpfAutoscaleStudy::run(core5g::ScalingPolicy::kReactive,
-                                     params);
-  const auto predictive =
-      core5g::UpfAutoscaleStudy::run(core5g::ScalingPolicy::kPredictive,
-                                     params);
-
-  bench::anchor("static pool violations", double(statics.violation_steps),
-                "sized-for-mean pools breach at peak");
-  bench::anchor("reactive violations", double(reactive.violation_steps),
-                "boot delay bites on flash crowds");
-  bench::anchor("predictive violations", double(predictive.violation_steps),
-                "pattern-aware scaling [29]");
-  bench::anchor("predictive vs static instance-hours",
-                predictive.instance_hours / statics.instance_hours,
-                "cost of elasticity");
-  return 0;
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "upf-autoscale"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("upf-autoscale", argc, argv);
 }

@@ -1,3 +1,5 @@
+/// @file gap.hpp — Section IV-C gap analysis: quantifies how far the
+/// measured deployment falls short of the binding application requirement.
 #pragma once
 
 #include "common/table.hpp"

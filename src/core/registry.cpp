@@ -1,0 +1,94 @@
+#include "core/registry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sixg::core {
+
+std::vector<const ScenarioResult::Anchor*> ScenarioResult::anchors() const {
+  std::vector<const Anchor*> out;
+  for (const auto& item : items_) {
+    if (const auto* a = std::get_if<Anchor>(&item)) out.push_back(a);
+  }
+  return out;
+}
+
+std::size_t ScenarioResult::table_count() const {
+  std::size_t n = 0;
+  for (const auto& item : items_) {
+    if (std::holds_alternative<TitledTable>(item)) ++n;
+  }
+  return n;
+}
+
+bool ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty() || !scenario.run) return false;
+  if (contains(scenario.name)) return false;
+  scenarios_.push_back(std::move(scenario));
+  return true;
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(&s);
+  return out;
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+namespace {
+
+struct ItemRenderer {
+  std::ostringstream& os;
+
+  void operator()(const ScenarioResult::Note& n) const { os << n.text << "\n"; }
+  void operator()(const ScenarioResult::TitledTable& t) const {
+    os << "\n";
+    if (!t.title.empty()) os << t.title << "\n";
+    os << t.table.str();
+  }
+  void operator()(const ScenarioResult::Anchor& a) const {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "  anchor: %-42s measured %10.2f | paper %s", a.what.c_str(),
+                  a.measured, a.paper.c_str());
+    os << line << "\n";
+  }
+};
+
+}  // namespace
+
+std::string render(const Scenario& scenario, const ScenarioResult& result) {
+  std::ostringstream os;
+  const std::string rule(62, '=');
+  os << rule << "\n"
+     << scenario.artefact << " — " << scenario.description << "\n"
+     << rule << "\n";
+  // Blank line at each anchor-block boundary, matching the section
+  // separation the original bench binaries printed. Tables prepend their
+  // own blank line, so only note lines need one when following anchors.
+  bool last_was_anchor = false;
+  for (const auto& item : result.items()) {
+    const bool is_anchor =
+        std::holds_alternative<ScenarioResult::Anchor>(item);
+    const bool is_note = std::holds_alternative<ScenarioResult::Note>(item);
+    if ((is_anchor && !last_was_anchor) || (is_note && last_was_anchor))
+      os << "\n";
+    std::visit(ItemRenderer{os}, item);
+    last_was_anchor = is_anchor;
+  }
+  return os.str();
+}
+
+}  // namespace sixg::core

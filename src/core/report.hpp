@@ -1,3 +1,5 @@
+/// @file report.hpp — full-study report generator aggregating figures,
+/// tables and findings into one renderable document.
 #pragma once
 
 #include <string>

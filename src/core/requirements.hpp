@@ -1,3 +1,5 @@
+/// @file requirements.hpp — the paper's application-requirements registry
+/// and the 5G/6G generation profiles they are checked against.
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,5 @@
+/// @file scenario.hpp — the calibrated Klagenfurt case study: grid, census,
+/// radio environment, topology and the canonical campaign configuration.
 #pragma once
 
 #include <memory>

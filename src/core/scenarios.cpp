@@ -1,0 +1,1034 @@
+#include "core/scenarios.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/ar_game.hpp"
+#include "apps/federated.hpp"
+#include "apps/protocols.hpp"
+#include "apps/traffic.hpp"
+#include "core/gap.hpp"
+#include "core/requirements.hpp"
+#include "core/scenario.hpp"
+#include "core/whatif.hpp"
+#include "fivegcore/autoscale.hpp"
+#include "fivegcore/placement.hpp"
+#include "fivegcore/selector.hpp"
+#include "fivegcore/session.hpp"
+#include "fivegcore/upf.hpp"
+#include "geo/gazetteer.hpp"
+#include "measurement/atlas.hpp"
+#include "measurement/ping.hpp"
+#include "oran/handover.hpp"
+#include "oran/qos_xapp.hpp"
+#include "oran/ric.hpp"
+#include "radio/energy.hpp"
+#include "radio/link_model.hpp"
+#include "radio/mmwave.hpp"
+#include "slicing/admission.hpp"
+#include "slicing/hypervisor.hpp"
+#include "slicing/reconfig.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "topo/europe.hpp"
+#include "topo/traceroute.hpp"
+
+namespace sixg::core {
+namespace {
+
+/// printf-style formatting into a std::string for note lines.
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// The drive-test campaign of `study` under `profile`, seeded from the
+/// context. All grid scenarios build their campaign here so they share
+/// one determinism story (fig1 also lists plans() off the same object).
+meas::GridCampaign make_campaign(const KlagenfurtStudy& study,
+                                 const radio::AccessProfile& profile,
+                                 const RunContext& ctx) {
+  meas::GridCampaign::Config config = study.campaign_config();
+  config.seed = ctx.seed_for(0x9a24);
+  return meas::GridCampaign{
+      study.grid(),           study.population(),
+      study.rem(),            study.europe().net,
+      study.europe().mobile_ue, study.europe().university_probe,
+      profile,                config};
+}
+
+/// Run the campaign, honouring the context's thread count.
+meas::GridReport run_grid_campaign(const KlagenfurtStudy& study,
+                                   const radio::AccessProfile& profile,
+                                   const RunContext& ctx) {
+  const auto runner = ctx.runner();
+  return make_campaign(study, profile, ctx).run(runner);
+}
+
+/// The wired-population baseline both fig2 and gap-analysis anchor their
+/// mobile/wired ratio on — defined once so the two always agree.
+stats::Summary wired_baseline(const KlagenfurtStudy& study,
+                              const RunContext& ctx) {
+  return study.wired_baseline(2000, ctx.seed_for(77));
+}
+
+/// Nearest gazetteer city to a position (the "map pin" of Figure 4).
+std::string nearest_city(const geo::LatLon& pos) {
+  const auto& gaz = geo::Gazetteer::central_europe();
+  std::string best = "?";
+  double best_km = 1e18;
+  for (const auto& city : gaz.cities()) {
+    const double d = geo::distance_km(pos, city.position);
+    if (d < best_km) {
+      best_km = d;
+      best = city.name;
+    }
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- figures
+
+ScenarioResult fig1(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto& grid = study.grid();
+  const auto& pop = study.population();
+
+  TextTable density{[&] {
+    std::vector<std::string> header{"Row"};
+    for (int col = 0; col < grid.cols(); ++col)
+      header.push_back(std::to_string(col + 1));
+    return header;
+  }()};
+  for (int row = 0; row < grid.rows(); ++row) {
+    std::vector<std::string> cells{std::string(1, char('A' + row))};
+    for (int col = 0; col < grid.cols(); ++col) {
+      const geo::CellIndex c{row, col};
+      cells.push_back(TextTable::num(pop.density(c), 0) +
+                      (pop.sparse(c) ? "*" : " "));
+    }
+    density.add_row(std::move(cells));
+  }
+  r.add_table(std::move(density),
+              "Population density per cell (inhabitants/km^2, * = sparse "
+              "<1000):");
+  r.add_note(strf("sector population: %.0f", pop.total_population()));
+
+  // One campaign for both the trace listing and the count table, so the
+  // plans shown are exactly the drives the report measured.
+  const auto campaign = make_campaign(study, study.access_profile(), ctx);
+  const auto plans = campaign.plans();
+  r.add_note(strf("Drive traces (%zu mobile nodes):", plans.size()));
+  for (std::size_t n = 0; n < plans.size(); ++n) {
+    r.add_note(strf("  node %zu: %4zu cell visits over %s, %d distinct cells",
+                    n, plans[n].visits().size(),
+                    plans[n].total_duration().str().c_str(),
+                    plans[n].traversed_cell_count(grid)));
+  }
+
+  const auto runner = ctx.runner();
+  const auto report = campaign.run(runner);
+  r.add_table(report.count_table(),
+              "Measurement counts per cell ('-' = not traversed):");
+  r.add_anchor("traversed cells", report.traversed_count(), "33");
+  r.add_anchor("suppressed cells (<10 samples)", report.suppressed_count(),
+               "\"a few\" (border regions)");
+  return r;
+}
+
+ScenarioResult fig2(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto report = run_grid_campaign(study, study.access_profile(), ctx);
+
+  r.add_table(report.mean_table());
+  r.add_note(strf("(0.0 = traversed but fewer than %u measurements; '-' = "
+                  "not traversed)",
+                  report.min_samples()));
+
+  const auto min_mean = report.min_mean();
+  const auto max_mean = report.max_mean();
+  const auto wired = wired_baseline(study, ctx);
+  const double ratio = report.mean_of_cell_means().mean() / wired.mean();
+
+  r.add_anchor("min cell mean @ " + min_mean.label, min_mean.value,
+               "61 ms @ C1");
+  r.add_anchor("max cell mean @ " + max_mean.label, max_mean.value,
+               "110 ms @ C3");
+  r.add_anchor("wired baseline mean (ms)", wired.mean(), "1-11 ms [3]");
+  r.add_anchor("mobile/wired mean ratio", ratio, "~7x");
+  return r;
+}
+
+ScenarioResult fig3(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto report = run_grid_campaign(study, study.access_profile(), ctx);
+
+  r.add_table(report.stddev_table());
+
+  const auto min_sd = report.min_stddev();
+  const auto max_sd = report.max_stddev();
+  r.add_anchor("min cell stddev @ " + min_sd.label, min_sd.value,
+               "1.8 ms @ B3");
+  r.add_anchor("max cell stddev @ " + max_sd.label, max_sd.value,
+               "46.4 ms @ E5");
+  return r;
+}
+
+ScenarioResult fig4(const RunContext&) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto& europe = study.europe();
+  const auto path =
+      europe.net.find_path(europe.mobile_ue, europe.university_probe);
+
+  TextTable t{{"Leg", "From", "To", "City", "Leg km", "Cum. km"}};
+  t.set_align(1, TextTable::Align::kLeft);
+  t.set_align(2, TextTable::Align::kLeft);
+  t.set_align(3, TextTable::Align::kLeft);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const auto& link = europe.net.link(path.links[i]);
+    const auto& from = europe.net.node(path.nodes[i]);
+    const auto& to = europe.net.node(path.nodes[i + 1]);
+    cum += link.length_km;
+    t.add_row({TextTable::integer(std::int64_t(i + 1)), from.name, to.name,
+               nearest_city(to.position), TextTable::num(link.length_km, 0),
+               TextTable::num(cum, 0)});
+  }
+  r.add_table(std::move(t));
+
+  const auto& gaz = geo::Gazetteer::central_europe();
+  const double loop_km = gaz.distance_km("Vienna", "Prague") +
+                         gaz.distance_km("Prague", "Bucharest") +
+                         gaz.distance_km("Bucharest", "Vienna");
+
+  r.add_anchor("total routed distance (km)", path.distance_km, "2544 km");
+  r.add_anchor("Vienna-Prague-Bucharest-Vienna loop (km)", loop_km,
+               "the detour Fig. 4 shows");
+  r.add_anchor("deterministic one-way floor (ms)", path.base_one_way.ms(),
+               "majority of the 65 ms RTL");
+  return r;
+}
+
+ScenarioResult table1(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto& europe = study.europe();
+  Rng rng{ctx.seed_for(7)};
+
+  const auto trace = topo::traceroute(europe.net, europe.mobile_ue,
+                                      europe.university_probe, rng);
+  r.add_table(trace.table());
+
+  const auto c2 = study.grid().parse_label("C2");
+  const radio::RadioLinkModel nsa{study.access_profile()};
+  const meas::PingMeasurement ping{europe.net, europe.mobile_ue,
+                                   europe.university_probe, nsa,
+                                   study.rem().at(*c2)};
+  Rng ping_rng{ctx.seed_for(11)};
+  const auto result = ping.run(500, ping_rng);
+
+  const double straight = geo::distance_km(
+      europe.net.node(europe.mobile_ue).position,
+      europe.net.node(europe.university_probe).position);
+
+  r.add_anchor("network hops", double(trace.hop_count()), "10");
+  r.add_anchor("network-layer RTL (ms)", trace.rtt_ms, "part of 65 ms");
+  r.add_anchor("end-to-end RTL incl. 5G access, best (ms)",
+               result.summary_ms.min(), "65 ms (single trace)");
+  r.add_anchor("end-to-end RTL incl. 5G access, mean (ms)",
+               result.summary_ms.mean(), ">62 ms (Sec. V-B)");
+  r.add_anchor("UE->probe straight-line distance (km)", straight, "<5 km");
+  return r;
+}
+
+ScenarioResult fig2_6g(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy measured;
+  const auto measured_report =
+      run_grid_campaign(measured, measured.access_profile(), ctx);
+
+  KlagenfurtStudy::Options options;
+  options.europe.local_breakout = true;
+  options.europe.local_peering = true;
+  const KlagenfurtStudy fixed{options};
+
+  const auto sa_report =
+      run_grid_campaign(fixed, radio::AccessProfile::fiveg_sa_urllc(), ctx);
+  const auto sixg_report =
+      run_grid_campaign(fixed, radio::AccessProfile::sixg(), ctx);
+
+  r.add_table(sa_report.mean_table(),
+              "5G-SA URLLC + local peering, mean RTL per cell (ms):");
+  r.add_table(sixg_report.mean_table(),
+              "6G target + local peering, mean RTL per cell (ms):");
+
+  r.add_anchor("measured 5G grid mean (ms)",
+               measured_report.mean_of_cell_means().mean(),
+               "61-110 ms band (Fig. 2)");
+  r.add_anchor("SA+peering grid mean (ms)",
+               sa_report.mean_of_cell_means().mean(),
+               "5-6.2 ms class (Sec. V-B)");
+  r.add_anchor("6G grid mean (ms)", sixg_report.mean_of_cell_means().mean(),
+               "sub-1 ms goal (Sec. II-A)");
+  r.add_anchor("max cell under 6G (ms)", sixg_report.max_mean().value,
+               "every cell meets the AR budget");
+  return r;
+}
+
+// ------------------------------------------------- requirements and gap
+
+ScenarioResult requirements(const RunContext&) {
+  ScenarioResult r;
+  const auto& registry = RequirementsRegistry::paper_registry();
+  const std::vector<GenerationProfile> generations{
+      GenerationProfile::fiveg_claimed(),
+      GenerationProfile::fiveg_measured_urban(),
+      GenerationProfile::sixg_target(),
+  };
+  r.add_table(registry.feasibility_matrix(generations),
+              "Feasibility matrix (latency! = RTT budget violated):");
+  r.add_table(apps::DomainTraffic::matrix(),
+              "Domain traffic profiles (Sec. III-B/III-C):");
+
+  const apps::ScalabilityModel scalability;
+  r.add_note(strf("Scalability (Sec. II-C/III-C): 2030 forecast %.0f billion "
+                  "devices over %.1f M km^2 urban area",
+                  scalability.forecast_devices_2030 / 1e9,
+                  scalability.urbanised_area_km2 / 1e6));
+  r.add_note(strf("  required density: %.0f devices/km^2",
+                  scalability.required_density()));
+  r.add_note(strf("  5G admits %.0f /km^2 -> %s",
+                  scalability.devices_per_km2_5g,
+                  scalability.feasible_5g() ? "feasible" : "INSUFFICIENT"));
+  r.add_note(strf("  6G admits %.0f /km^2 -> %s",
+                  scalability.devices_per_km2_6g,
+                  scalability.feasible_6g() ? "feasible" : "INSUFFICIENT"));
+
+  r.add_anchor("binding requirement (ms)",
+               registry.binding_requirement().user_perceived.ms(),
+               "16.6 ms (60 FPS)");
+  r.add_anchor("6G device density (/km^2)", scalability.devices_per_km2_6g,
+               "hundreds of thousands+ [9]");
+  return r;
+}
+
+ScenarioResult gap_analysis(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto report = run_grid_campaign(study, study.access_profile(), ctx);
+  const auto wired = wired_baseline(study, ctx);
+
+  const GapAnalysis gap{
+      report, wired,
+      RequirementsRegistry::paper_registry().binding_requirement()};
+  r.add_table(gap.summary_table());
+
+  const auto& f = gap.findings();
+  r.add_anchor("requirement excess (%)", f.requirement_excess_percent,
+               "~270 %");
+  r.add_anchor("mobile/wired ratio", f.mobile_over_wired, "~7x");
+
+  Rng rng{ctx.seed_for(5)};
+  stats::Summary app_added;
+  for (int i = 0; i < 4000; ++i) {
+    const Duration overhead =
+        apps::ProtocolOverheadModel::sample_overhead(apps::IotProtocol::kMqtt,
+                                                     rng) +
+        apps::ProtocolOverheadModel::sample_overhead(apps::IotProtocol::kMqtt,
+                                                     rng) +
+        Duration::from_millis_f(18.0);  // service-side inference/render
+    app_added.add(overhead.ms());
+  }
+  r.add_anchor("application-layer addition (ms)", app_added.mean(),
+               "+35 ms on average [21][22]");
+  return r;
+}
+
+ScenarioResult phy_latency(const RunContext& ctx) {
+  ScenarioResult r;
+  const radio::MmWavePhyModel phy;
+  Rng rng{ctx.seed_for(31)};
+  stats::Histogram hist{0.0, 20.0, 80};
+  for (int i = 0; i < 300000; ++i) hist.add(phy.sample_one_way(rng).ms());
+
+  r.add_note("mmWave PHY one-way latency CDF:");
+  for (const double ms : {0.5, 1.0, 2.0, 3.0, 5.0, 10.0}) {
+    r.add_note(strf("  P(latency < %4.1f ms) = %6.2f %%", ms,
+                    hist.cdf(ms) * 100.0));
+  }
+  r.add_anchor("share under 1 ms (%)", hist.cdf(1.0) * 100.0, "4.4 % [22]");
+  r.add_anchor("share under 3 ms (%)", hist.cdf(3.0) * 100.0, "22.36 % [22]");
+
+  const KlagenfurtStudy study;
+  const radio::RadioLinkModel nsa{study.access_profile()};
+  stats::Histogram nsa_hist{0.0, 120.0, 60};
+  const auto cells = study.grid().all_cells();
+  for (int i = 0; i < 100000; ++i) {
+    const auto cell = cells[rng.uniform_int(cells.size())];
+    nsa_hist.add(nsa.sample_downlink(study.rem().at(cell), rng).ms());
+  }
+  r.add_note("Mid-band NSA one-way (downlink, full stack) for contrast:");
+  for (const double ms : {1.0, 3.0, 10.0, 20.0}) {
+    r.add_note(strf("  P(latency < %4.1f ms) = %6.2f %%", ms,
+                    nsa_hist.cdf(ms) * 100.0));
+  }
+  r.add_anchor("NSA downlink share under 3 ms (%)", nsa_hist.cdf(3.0) * 100.0,
+               "application-visible access is slower than PHY");
+  return r;
+}
+
+ScenarioResult latency_decomposition(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto& europe = study.europe();
+  const auto& net = europe.net;
+  const auto path = net.find_path(europe.mobile_ue, europe.university_probe);
+
+  Duration propagation;
+  Duration extra;
+  Duration processing;
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const auto& link = net.link(path.links[i]);
+    propagation += link.propagation();
+    extra += link.extra_latency;
+    if (i + 1 < path.links.size())
+      processing += net.node(path.nodes[i + 1]).processing_delay;
+  }
+
+  Rng rng{ctx.seed_for(23)};
+  stats::Summary queueing_ms;
+  for (int s = 0; s < 4000; ++s) {
+    Duration q;
+    for (const auto link : path.links) {
+      q += net.sample_queueing(link, rng);
+      q += net.sample_queueing(link, rng);
+    }
+    queueing_ms.add(q.ms());
+  }
+  const radio::RadioLinkModel nsa{study.access_profile()};
+  const auto c2 = study.rem().at(*study.grid().parse_label("C2"));
+  const double radio_ms = nsa.expected_rtt(c2).ms();
+
+  TextTable t{{"Component", "RTT share (ms)", "Removed by"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  t.set_align(2, TextTable::Align::kLeft);
+  t.add_row({"5G radio access (C2 conditions)", TextTable::num(radio_ms, 1),
+             "V-B access evolution / 6G"});
+  t.add_row({"detour propagation (2x2659 km fibre)",
+             TextTable::num(2.0 * propagation.ms(), 1), "V-A local peering"});
+  t.add_row({"carrier extras (CGNAT, access tails)",
+             TextTable::num(2.0 * extra.ms(), 1),
+             "V-B UPF integration (local breakout)"});
+  t.add_row({"per-hop forwarding (10 hops)",
+             TextTable::num(2.0 * processing.ms(), 1), "V-A fewer hops"});
+  t.add_row({"public-Internet queueing (mean)",
+             TextTable::num(queueing_ms.mean(), 1), "V-A shorter path"});
+  const double total = radio_ms + 2.0 * propagation.ms() + 2.0 * extra.ms() +
+                       2.0 * processing.ms() + queueing_ms.mean();
+  t.add_row({"TOTAL (expected)", TextTable::num(total, 1), "-"});
+  r.add_table(std::move(t));
+
+  const meas::PingMeasurement ping{net, europe.mobile_ue,
+                                   europe.university_probe, nsa, c2};
+  Rng rng2{ctx.seed_for(29)};
+  const auto sampled = ping.run(3000, rng2);
+  r.add_anchor("decomposition total (ms)", total, "matches sampled mean");
+  r.add_anchor("sampled end-to-end mean (ms)", sampled.summary_ms.mean(),
+               "Fig. 2 C2-class cell");
+  r.add_anchor("radio share of total (%)", radio_ms / total * 100.0,
+               "access dominates after peering");
+  return r;
+}
+
+// ------------------------------------------------- Section V ablations
+
+ScenarioResult ablation_peering(const RunContext& ctx) {
+  ScenarioResult r;
+  const WhatIfEngine engine;
+  const auto results = engine.local_peering();
+
+  TextTable t{{"Metric", "Before", "After", "Unit", "Factor"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const auto& res : results) {
+    t.add_row({res.metric, TextTable::num(res.before, 2),
+               TextTable::num(res.after, 2), res.unit,
+               TextTable::num(res.improvement_factor(), 2) + "x"});
+  }
+  r.add_table(std::move(t));
+
+  topo::EuropeOptions fixed;
+  fixed.local_breakout = true;
+  fixed.local_peering = true;
+  const auto peered = topo::build_europe(fixed);
+  Rng rng{ctx.seed_for(17)};
+  const auto trace = topo::traceroute(peered.net, peered.mobile_ue,
+                                      peered.university_probe, rng);
+  r.add_table(trace.table(), "Traceroute with local peering:");
+
+  for (const auto& res : results) {
+    if (res.metric == "UE->probe network hops")
+      r.add_anchor("hops after peering", res.after, "vs 10 before (Table I)");
+    if (res.metric == "routed distance")
+      r.add_anchor("routed km after peering", res.after, "vs 2544 before");
+    if (res.metric == "RTL: mobile status quo vs wired on peered fabric")
+      r.add_anchor("wired RTL on peered fabric (ms)", res.after,
+                   "1-11 ms [3]");
+  }
+  return r;
+}
+
+ScenarioResult ablation_upf(const RunContext& ctx) {
+  ScenarioResult r;
+  topo::EuropeOptions options;
+  options.local_breakout = true;
+  const auto europe = topo::build_europe(options);
+  const core5g::UpfPlacementStudy study{europe,
+                                        core5g::UpfPlacementStudy::Config{}};
+  const auto rows = study.sweep();
+  r.add_table(core5g::UpfPlacementStudy::table(rows));
+
+  double baseline = 0.0;
+  double edge_sa = 0.0;
+  double metro_sa = 0.0;
+  double edge_6g = 0.0;
+  for (const auto& row : rows) {
+    if (row.placement == core5g::UpfPlacement::kNone)
+      baseline = row.mean_rtt_ms;
+    if (row.placement == core5g::UpfPlacement::kEdge &&
+        row.access_profile == "5G-SA-URLLC")
+      edge_sa = row.mean_rtt_ms;
+    if (row.placement == core5g::UpfPlacement::kMetro &&
+        row.access_profile == "5G-SA-URLLC")
+      metro_sa = row.mean_rtt_ms;
+    if (row.placement == core5g::UpfPlacement::kEdge &&
+        row.access_profile == "6G")
+      edge_6g = row.mean_rtt_ms;
+  }
+  r.add_anchor("baseline (remote breakout, 5G-NSA) ms", baseline,
+               "exceeding 62 ms");
+  r.add_anchor("edge..metro UPF + capable 5G (ms)", edge_sa,
+               "5-6.2 ms [30][31]");
+  r.add_anchor("  (metro bound)", metro_sa, "5-6.2 ms [30][31]");
+  r.add_anchor("reduction, edge+SA vs baseline (%)",
+               (1.0 - edge_sa / baseline) * 100.0, "up to 90 %");
+  r.add_anchor("edge UPF + 6G target (ms)", edge_6g,
+               "below 1 ms (Sec. V-B)");
+
+  Rng rng{ctx.seed_for(2024)};
+  const auto flows = core5g::synthesize_flows(400, 0.15, 0.35, rng);
+  core5g::DynamicUpfSelector selector{core5g::DynamicUpfSelector::Config{}};
+  const auto assignments = selector.assign(flows);
+  int critical_total = 0;
+  int critical_edge = 0;
+  for (const auto& a : assignments) {
+    if (a.flow_class == core5g::FlowClass::kLatencyCritical) {
+      ++critical_total;
+      if (a.anchor == core5g::UpfPlacement::kEdge) ++critical_edge;
+    }
+  }
+  r.add_note(strf("Dynamic UPF selection: %d of %d latency-critical flows at "
+                  "the edge (capacity-limited), rest degrade to metro.",
+                  critical_edge, critical_total));
+  return r;
+}
+
+ScenarioResult ablation_cpf(const RunContext& ctx) {
+  ScenarioResult r;
+  {
+    const core5g::SessionSetupModel model{core5g::ControlPlaneSites{}};
+    Rng rng{ctx.seed_for(3)};
+    stats::Summary conv_ms;
+    stats::Summary edge_ms;
+    std::uint32_t conv_msgs = 0;
+    std::uint32_t edge_msgs = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const auto c = model.conventional(rng);
+      const auto e = model.converged_edge(rng);
+      conv_ms.add(c.total.ms());
+      edge_ms.add(e.total.ms());
+      conv_msgs = c.messages;
+      edge_msgs = e.messages;
+    }
+    TextTable t{{"Control plane", "Messages", "Mean setup (ms)", "Max (ms)"}};
+    t.set_align(0, TextTable::Align::kLeft);
+    t.add_row({"conventional 5G (AMF/SMF in core)",
+               TextTable::integer(conv_msgs), TextTable::num(conv_ms.mean(), 2),
+               TextTable::num(conv_ms.max(), 2)});
+    t.add_row({"converged edge control plane [38]",
+               TextTable::integer(edge_msgs), TextTable::num(edge_ms.mean(), 2),
+               TextTable::num(edge_ms.max(), 2)});
+    r.add_table(std::move(t), "PDU session establishment:");
+    r.add_anchor("setup latency factor", conv_ms.mean() / edge_ms.mean(),
+                 "consolidation gain (Sec. V-C)");
+  }
+  {
+    oran::QosXApp::WorkloadParams params;
+    params.seed = ctx.seed_for(0x90a5);
+    r.add_table(oran::QosXApp::comparison(params),
+                strf("Context-aware PDR/QER handling (%u rules, %u active "
+                     "flows, %u flows/UE):",
+                     params.total_rules, params.active_flows,
+                     params.flows_per_ue));
+    const auto linear =
+        oran::QosXApp::evaluate(core5g::RuleTable::Mode::kLinearScan, params);
+    const auto context = oran::QosXApp::evaluate(
+        core5g::RuleTable::Mode::kContextAware, params);
+    r.add_anchor("lookup latency reduction",
+                 linear.lookup_ns.mean() / context.lookup_ns.mean(),
+                 "reduced lookup latency [32]");
+    r.add_anchor("prioritised UEs simultaneously",
+                 double(context.prioritised_ues),
+                 "multiple flows per UE [32]");
+  }
+  {
+    const oran::HandoverModel model;
+    r.add_table(
+        model.storm_table({50.0, 400.0, 1200.0}, 2000, ctx.seed_for(0xcafe)),
+        "Handover interruption vs control-plane load:");
+  }
+  {
+    const oran::NearRtRic ric{oran::NearRtRic::Config{}};
+    r.add_anchor("Near-RT RIC control loop mean (ms)",
+                 ric.expected_control_loop().ms(), "10 ms - 1 s near-RT band");
+  }
+  return r;
+}
+
+ScenarioResult ablation_slicing(const RunContext& ctx) {
+  ScenarioResult r;
+  const auto& gaz = geo::Gazetteer::central_europe();
+  std::vector<slicing::HypervisorSite> sites;
+  std::uint32_t id = 0;
+  for (const char* city : {"Vienna", "Graz", "Ljubljana"}) {
+    sites.push_back(
+        slicing::HypervisorSite{id++, city, gaz.find(city)->position, 8.0});
+  }
+  const slicing::HypervisorPlacer placer{sites};
+
+  std::vector<slicing::SliceEndpoint> endpoints;
+  std::uint32_t slice_id = 0;
+  for (const char* home : {"Klagenfurt", "Zagreb", "Bratislava", "Munich"}) {
+    for (const auto& spec :
+         {slicing::SliceSpec::ar_gaming(slice_id + 1),
+          slicing::SliceSpec::remote_surgery(slice_id + 2),
+          slicing::SliceSpec::video_streaming(slice_id + 3)}) {
+      endpoints.push_back(
+          slicing::SliceEndpoint{spec, gaz.find(home)->position, 1.0});
+    }
+    slice_id += 10;
+  }
+
+  std::vector<slicing::PlacementOutcome> outcomes;
+  for (const auto strategy : {slicing::PlacementStrategy::kLatencyAware,
+                              slicing::PlacementStrategy::kResilienceAware,
+                              slicing::PlacementStrategy::kLoadBalanced}) {
+    outcomes.push_back(placer.place(endpoints, strategy));
+  }
+  r.add_table(slicing::HypervisorPlacer::comparison(outcomes),
+              strf("Hypervisor placement (%zu slices, %zu candidate sites):",
+                   endpoints.size(), sites.size()));
+  r.add_anchor("latency-aware worst ctrl RTT (ms)",
+               outcomes[0].worst_control_rtt_ms, "latency objective [41]");
+  r.add_anchor("resilience failover coverage (%)",
+               outcomes[1].failover_coverage * 100.0,
+               "resilience objective [42]");
+
+  slicing::ReconfigStudy::Params params;
+  params.seed = ctx.seed_for(0x51ce);
+  r.add_table(slicing::ReconfigStudy::comparison(params),
+              "Reconfiguration policy over a 24 h diurnal day with random "
+              "surges:");
+  const auto reactive =
+      slicing::ReconfigStudy::run(slicing::ReconfigPolicy::kReactive, params);
+  const auto predictive = slicing::ReconfigStudy::run(
+      slicing::ReconfigPolicy::kPredictive, params);
+  r.add_anchor("violation steps reactive", double(reactive.violations),
+               "reactive operation (Sec. V-C)");
+  r.add_anchor("violation steps predictive", double(predictive.violations),
+               "predictive goal (Sec. V-C)");
+
+  const auto admit_study = [&](bool peered) {
+    topo::EuropeOptions options;
+    options.local_breakout = peered;
+    options.local_peering = peered;
+    const auto world = topo::build_europe(options);
+    slicing::SliceAdmission admission{world.net,
+                                      slicing::SliceAdmission::Config{}};
+    int admitted = 0;
+    const std::vector<slicing::SliceSpec> specs{
+        slicing::SliceSpec::ar_gaming(1), slicing::SliceSpec::remote_surgery(2),
+        slicing::SliceSpec::vehicle_coordination(3),
+        slicing::SliceSpec::video_streaming(4),
+        slicing::SliceSpec::sensor_swarm(5)};
+    for (const auto& spec : specs) {
+      if (admission.admit(spec, world.mobile_ue, world.university_probe))
+        ++admitted;
+    }
+    return admitted;
+  };
+  const int without = admit_study(false);
+  const int with_peering = admit_study(true);
+  r.add_note("Slice admission UE->university (5 requested):");
+  r.add_note(strf("  over the detour:        %d admitted (URLLC budgets fail "
+                  "on the path floor)",
+                  without));
+  r.add_note(strf("  with local peering:     %d admitted", with_peering));
+  r.add_anchor("URLLC admissible only with local path",
+               double(with_peering - without),
+               "slicing needs the V-A/V-B fixes");
+  return r;
+}
+
+ScenarioResult ablation_energy(const RunContext&) {
+  ScenarioResult r;
+  r.add_table(radio::GnbEnergyModel::comparison_table());
+
+  radio::GnbEnergyModel::Params fiveg;
+  const radio::GnbEnergyModel a{fiveg};
+  radio::GnbEnergyModel::Params sixg;
+  sixg.micro_sleep = true;
+  sixg.static_watts = 650.0;
+  sixg.cell_peak_rate = DataRate::gbps(10);
+  const radio::GnbEnergyModel b{sixg};
+
+  r.add_note("Daily energy at 20 % mean load (diurnal 3:1 swing):");
+  r.add_note(strf("  5G macro:          %.1f kWh", a.daily_kwh(0.20)));
+  r.add_note(strf("  6G w/ micro-sleep: %.1f kWh", b.daily_kwh(0.20)));
+
+  r.add_anchor("energy/bit gain at 15 % load",
+               a.nj_per_bit(0.15) / b.nj_per_bit(0.15),
+               "order-of-magnitude 6G target");
+  r.add_anchor("daily kWh saving (%)",
+               (1.0 - b.daily_kwh(0.20) / a.daily_kwh(0.20)) * 100.0,
+               "sleep-mode benefit at low load");
+  return r;
+}
+
+ScenarioResult upf_autoscale(const RunContext& ctx) {
+  ScenarioResult r;
+  core5g::UpfAutoscaleStudy::Params params;
+  params.seed = ctx.seed_for(0x5ca1e);
+  r.add_table(core5g::UpfAutoscaleStudy::comparison(params));
+
+  const auto statics =
+      core5g::UpfAutoscaleStudy::run(core5g::ScalingPolicy::kStatic, params);
+  const auto reactive =
+      core5g::UpfAutoscaleStudy::run(core5g::ScalingPolicy::kReactive, params);
+  const auto predictive = core5g::UpfAutoscaleStudy::run(
+      core5g::ScalingPolicy::kPredictive, params);
+
+  r.add_anchor("static pool violations", double(statics.violation_steps),
+               "sized-for-mean pools breach at peak");
+  r.add_anchor("reactive violations", double(reactive.violation_steps),
+               "boot delay bites on flash crowds");
+  r.add_anchor("predictive violations", double(predictive.violation_steps),
+               "pattern-aware scaling [29]");
+  r.add_anchor("predictive vs static instance-hours",
+               predictive.instance_hours / statics.instance_hours,
+               "cost of elasticity");
+  return r;
+}
+
+ScenarioResult smartnic_upf(const RunContext& ctx) {
+  ScenarioResult r;
+  struct DatapathRow {
+    const char* name;
+    core5g::UpfDatapath datapath;
+  };
+  const DatapathRow datapaths[] = {
+      {"host CPU", core5g::UpfDatapath::kHostCpu},
+      {"SmartNIC", core5g::UpfDatapath::kSmartNic},
+  };
+
+  TextTable t{{"Datapath", "Mean pkt latency (us)", "p50 (us)", "p99 (us)",
+               "Throughput (Mpps)"}};
+  t.set_align(0, TextTable::Align::kLeft);
+
+  double host_mean = 0.0;
+  double nic_mean = 0.0;
+  double host_tput = 0.0;
+  double nic_tput = 0.0;
+  for (const auto& row : datapaths) {
+    core5g::Upf upf{
+        core5g::Upf::Config{.name = row.name, .datapath = row.datapath}};
+    (void)upf.rules().add_rule(core5g::PdrRule{1, 42, 1, 0, 0});
+    Rng rng{ctx.seed_for(99)};
+    stats::Summary lat_us;
+    stats::QuantileSample q;
+    for (int i = 0; i < 100000; ++i) {
+      const double us = upf.sample_packet_latency(42, rng).us();
+      lat_us.add(us);
+      q.add(us);
+    }
+    t.add_row({row.name, TextTable::num(lat_us.mean(), 2),
+               TextTable::num(q.quantile(0.5), 2),
+               TextTable::num(q.quantile(0.99), 2),
+               TextTable::num(upf.max_throughput_mpps(), 1)});
+    if (row.datapath == core5g::UpfDatapath::kHostCpu) {
+      host_mean = lat_us.mean();
+      host_tput = upf.max_throughput_mpps();
+    } else {
+      nic_mean = lat_us.mean();
+      nic_tput = upf.max_throughput_mpps();
+    }
+  }
+  r.add_table(std::move(t));
+
+  r.add_anchor("latency reduction factor", host_mean / nic_mean,
+               "3.75x [33]");
+  r.add_anchor("throughput factor", nic_tput / host_tput, "2x [32]");
+
+  r.add_note("Linear-scan lookup cost vs table size (flow at the tail):");
+  for (const std::size_t rules : {64u, 256u, 1024u, 4096u}) {
+    core5g::RuleTable table{core5g::RuleTable::Mode::kLinearScan};
+    for (std::size_t i = 0; i < rules; ++i)
+      (void)table.add_rule(
+          core5g::PdrRule{std::uint32_t(i), 1000 + i, 0, int(i), 0});
+    const auto outcome = table.lookup(1000 + rules - 1);
+    r.add_note(strf("  %5zu rules -> %7.2f us", rules, outcome.latency.us()));
+  }
+  return r;
+}
+
+// ---------------------------------------------------- application studies
+
+ScenarioResult federated_edge(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto conditions = study.rem().at(*study.grid().parse_label("C2"));
+  const radio::RadioLinkModel nsa{study.access_profile()};
+  const radio::RadioLinkModel sixg_radio{radio::AccessProfile::sixg()};
+
+  topo::EuropeOptions fixed;
+  fixed.local_breakout = true;
+  fixed.local_peering = true;
+  const auto peered = topo::build_europe(fixed);
+  const auto& detour_world = study.europe();
+
+  const meas::PingMeasurement cloud_ping{detour_world.net,
+                                         detour_world.mobile_ue,
+                                         detour_world.university_probe, nsa,
+                                         conditions};
+  const meas::PingMeasurement edge_ping{peered.net, peered.mobile_ue,
+                                        peered.university_probe, nsa,
+                                        conditions};
+  const meas::PingMeasurement sixg_ping{peered.net, peered.mobile_ue,
+                                        peered.university_probe, sixg_radio,
+                                        conditions};
+
+  constexpr double kTransitLoss = 3e-4;  // shared public transit
+  constexpr double kLocalLoss = 5e-5;    // clean local fabric
+
+  const auto run_regime = [&](const meas::PingMeasurement& ping, double loss) {
+    Rng probe_rng{ctx.seed_for(1)};
+    stats::Summary rtt_ms;
+    for (int i = 0; i < 400; ++i) rtt_ms.add(ping.sample_ms(probe_rng));
+    apps::FederatedRoundModel::Config config;
+    config.seed = ctx.seed_for(0xfeda);
+    config.uplink_rate = apps::effective_uplink(
+        config.uplink_rate, Duration::from_millis_f(rtt_ms.mean()), loss);
+    const apps::FederatedRoundModel model{
+        [&ping](Rng& rng) {
+          return Duration::from_millis_f(ping.sample_ms(rng) / 2.0);
+        },
+        config};
+    return model.run();
+  };
+
+  const std::vector<apps::FederatedScenario> scenarios{
+      {"cloud aggregator, 5G + detour", run_regime(cloud_ping, kTransitLoss)},
+      {"edge aggregator, 5G + peering", run_regime(edge_ping, kLocalLoss)},
+      {"edge aggregator, 6G + peering", run_regime(sixg_ping, kLocalLoss)},
+  };
+  r.add_table(apps::federated_comparison(scenarios));
+
+  const double cloud_s = scenarios[0].report.round_seconds.mean();
+  const double edge_s = scenarios[1].report.round_seconds.mean();
+  const double sixg_s = scenarios[2].report.round_seconds.mean();
+  r.add_anchor("round speedup, edge vs cloud", cloud_s / edge_s,
+               "edge aggregation wins (Sec. VI)");
+  r.add_anchor("round speedup, 6G edge vs cloud", cloud_s / sixg_s,
+               "6G compounds the gain");
+  r.add_anchor("network share at cloud (%)",
+               scenarios[0].report.network_share * 100.0,
+               "network-bound FL on detoured 5G");
+  return r;
+}
+
+ScenarioResult ar_game(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto conditions = study.rem().at(*study.grid().parse_label("C2"));
+
+  topo::EuropeOptions fixed;
+  fixed.local_breakout = true;
+  fixed.local_peering = true;
+  const auto status_quo = topo::build_europe();
+  const auto peered = topo::build_europe(fixed);
+
+  const auto play = [&](const topo::EuropeTopology& world,
+                        const radio::AccessProfile& profile) {
+    const radio::RadioLinkModel radio_model{profile};
+    const meas::PingMeasurement ping{world.net, world.mobile_ue,
+                                     world.university_probe, radio_model,
+                                     conditions};
+    apps::ArGameSession::Config config;
+    config.frames = 18000;
+    config.seed = ctx.seed_for(0xa59a);
+    const apps::ArGameSession session{
+        [&](Rng& rng) { return Duration::from_millis_f(ping.sample_ms(rng)); },
+        config};
+    return session.run();
+  };
+
+  struct Row {
+    const char* regime;
+    const topo::EuropeTopology* world;
+    radio::AccessProfile profile;
+  };
+  const Row rows[] = {
+      {"5G NSA, remote breakout (measured)", &status_quo,
+       radio::AccessProfile::fiveg_nsa()},
+      {"5G NSA + local peering (V-A)", &peered,
+       radio::AccessProfile::fiveg_nsa()},
+      {"5G SA URLLC + local peering (V-B)", &peered,
+       radio::AccessProfile::fiveg_sa_urllc()},
+      {"6G target + local peering", &peered, radio::AccessProfile::sixg()},
+  };
+
+  TextTable t{{"Regime", "Mean m2p (ms)", "Consistent frames",
+               "Mis-registered throws", "Verdict"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  double consistent_6g = 0.0;
+  double consistent_nsa = 0.0;
+  for (const Row& row : rows) {
+    const auto report = play(*row.world, row.profile);
+    t.add_row({row.regime, TextTable::num(report.event_m2p_ms.mean(), 1),
+               TextTable::num(report.consistent_frame_share * 100.0, 1) + " %",
+               TextTable::num(report.mis_registration_share * 100.0, 1) + " %",
+               report.playable() ? "playable" : "not playable"});
+    if (row.profile.name == "6G") consistent_6g = report.consistent_frame_share;
+    if (row.world == &status_quo)
+      consistent_nsa = report.consistent_frame_share;
+  }
+  r.add_table(std::move(t));
+
+  r.add_anchor("consistent frames, measured 5G (%)", consistent_nsa * 100.0,
+               "0 % (61 ms >> 20 ms budget)");
+  r.add_anchor("consistent frames, 6G target (%)", consistent_6g * 100.0,
+               "~100 % (enables the use case)");
+  return r;
+}
+
+ScenarioResult atlas_design(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto& europe = study.europe();
+  const radio::RadioLinkModel nsa{study.access_profile()};
+
+  TextTable t{{"Cell", "n", "mean (ms)", "95% CI width (ms)"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const char* label : {"B3", "E5"}) {
+    const auto conditions = study.rem().at(*study.grid().parse_label(label));
+    const meas::PingMeasurement ping{europe.net, europe.mobile_ue,
+                                     europe.university_probe, nsa, conditions};
+    for (const std::uint32_t n : {10u, 30u, 100u, 300u, 1000u}) {
+      Rng rng{ctx.seed_for(derive_seed(0xa75, n))};
+      std::vector<double> sample(n);
+      for (auto& x : sample) x = ping.sample_ms(rng);
+      const auto ci =
+          stats::bootstrap_mean_ci(sample, 0.95, 1500, ctx.seed_for(7));
+      double mean = 0;
+      for (double x : sample) mean += x;
+      mean /= double(n);
+      t.add_row({label, TextTable::integer(n), TextTable::num(mean, 1),
+                 TextTable::num(ci.width(), 2)});
+    }
+  }
+  r.add_table(std::move(t));
+
+  meas::AtlasFleet fleet{europe.net};
+  const auto probe = fleet.add_mobile_probe(
+      "drive-probe", europe.mobile_ue, nsa,
+      study.rem().at(*study.grid().parse_label("C2")));
+  meas::AtlasFleet::ScheduleOptions options;
+  options.period = Duration::seconds(15);
+  options.loss_rate = 0.02;
+  fleet.schedule_ping(probe, europe.university_probe, options);
+  const auto results = fleet.run(Duration::seconds(3600), ctx.seed_for(99));
+  r.add_note(strf("One hour at 15 s cadence: %llu scheduled, %llu lost, "
+                  "mean %.1f ms (sd %.1f)",
+                  static_cast<unsigned long long>(results[0].scheduled),
+                  static_cast<unsigned long long>(results[0].lost),
+                  results[0].rtt_ms.mean(), results[0].rtt_ms.stddev()));
+
+  r.add_anchor("samples per cell-hour at 15 s", double(results[0].scheduled),
+               "why <10-sample cells exist (short dwells)");
+  r.add_anchor("suppression threshold", 10.0,
+               "paper: cells with <10 measurements read 0.0");
+  return r;
+}
+
+}  // namespace
+
+std::size_t register_paper_scenarios(ScenarioRegistry& registry) {
+  const Scenario all[] = {
+      {"fig1", "Figure 1", "grid segmentation and campaign design", fig1},
+      {"fig2", "Figure 2", "urban mean round-trip latency per cell (ms)",
+       fig2},
+      {"fig3", "Figure 3", "per-cell RTL standard deviation (ms)", fig3},
+      {"fig4", "Figure 4", "geographic data trace of the local request",
+       fig4},
+      {"table1", "Table I", "networking hops for a local service request",
+       table1},
+      {"fig2-6g", "Figure 2 (projection)",
+       "the drive-test grid under the recommended 6G stack", fig2_6g},
+      {"requirements", "Sections II-III",
+       "requirements analysis and feasibility", requirements},
+      {"gap-analysis", "Section IV-C",
+       "gap analysis of the measured 5G deployment", gap_analysis},
+      {"phy-latency", "Section IV-C (PHY)",
+       "mmWave layer-1/2 latency distribution [22]", phy_latency},
+      {"latency-decomposition", "DESIGN ablation",
+       "decomposition of the measured RTL", latency_decomposition},
+      {"ablation-peering", "Section V-A",
+       "local peering optimisation ablation", ablation_peering},
+      {"ablation-upf", "Section V-B",
+       "UPF placement x access generation sweep", ablation_upf},
+      {"ablation-cpf", "Section V-C", "control-plane enhancement ablations",
+       ablation_cpf},
+      {"ablation-slicing", "Section V-C (slicing)",
+       "hypervisor placement, reconfiguration policy, slice admission",
+       ablation_slicing},
+      {"ablation-energy", "Section VI (future work)",
+       "energy per bit: 5G macro vs 6G with micro-sleep", ablation_energy},
+      {"upf-autoscale", "Section V-B ([29])",
+       "UPF instance autoscaling policies", upf_autoscale},
+      {"smartnic-upf", "Section V-B (SmartNIC)",
+       "host vs SmartNIC UPF datapath comparison", smartnic_upf},
+      {"federated-edge", "Section VI (future work)",
+       "federated learning rounds across network regimes", federated_edge},
+      {"ar-game", "Section IV-A", "AR game playability across regimes",
+       ar_game},
+      {"atlas-design", "Methodology", "campaign precision vs sample count",
+       atlas_design},
+  };
+  std::size_t added = 0;
+  for (const auto& scenario : all) {
+    if (registry.add(scenario)) ++added;
+  }
+  return added;
+}
+
+}  // namespace sixg::core

@@ -1,0 +1,19 @@
+/// @file scenarios.hpp — registration hook for the built-in paper
+/// scenarios: every figure, table and ablation of the reproduction.
+#pragma once
+
+#include <cstddef>
+
+#include "core/registry.hpp"
+
+namespace sixg::core {
+
+/// Register every built-in paper scenario (fig1..fig4, table1, the
+/// Section V ablations, the future-work studies) into `registry`.
+/// Explicit-call registration — rather than static initialisers — keeps
+/// the entries out of the static-init-order minefield and survives static
+/// library dead-stripping. Idempotent: already-present names are skipped.
+/// Returns the number of scenarios newly added.
+std::size_t register_paper_scenarios(ScenarioRegistry& registry);
+
+}  // namespace sixg::core

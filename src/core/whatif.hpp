@@ -1,3 +1,5 @@
+/// @file whatif.hpp — what-if engine applying each Section V recommendation
+/// to the measured scenario and quantifying the improvement.
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,5 @@
+/// @file parallel.hpp — fixed-pool parallel job runner used to fan
+/// independent simulation replications across worker threads.
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,5 @@
+/// @file simulator.hpp — single-threaded discrete-event simulator kernel,
+/// the deterministic heart of every replication.
 #pragma once
 
 #include <cstdint>

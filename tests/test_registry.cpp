@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/scenarios.hpp"
+
+namespace sixg::core {
+namespace {
+
+Scenario make_scenario(std::string name) {
+  Scenario s;
+  s.name = std::move(name);
+  s.artefact = "Test";
+  s.description = "test scenario";
+  s.run = [](const RunContext&) { return ScenarioResult{}; };
+  return s;
+}
+
+// ------------------------------------------------------- registration
+
+TEST(ScenarioRegistry, AddAndFind) {
+  ScenarioRegistry registry;
+  EXPECT_TRUE(registry.add(make_scenario("alpha")));
+  EXPECT_TRUE(registry.add(make_scenario("beta")));
+  EXPECT_EQ(registry.size(), 2u);
+
+  const Scenario* s = registry.find("alpha");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "alpha");
+  EXPECT_TRUE(registry.contains("beta"));
+  EXPECT_EQ(registry.find("gamma"), nullptr);
+  EXPECT_FALSE(registry.contains("gamma"));
+}
+
+TEST(ScenarioRegistry, ListPreservesRegistrationOrder) {
+  ScenarioRegistry registry;
+  for (const char* name : {"c", "a", "b"})
+    ASSERT_TRUE(registry.add(make_scenario(name)));
+  const auto list = registry.list();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0]->name, "c");
+  EXPECT_EQ(list[1]->name, "a");
+  EXPECT_EQ(list[2]->name, "b");
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateNames) {
+  ScenarioRegistry registry;
+  Scenario first = make_scenario("dup");
+  first.description = "the original";
+  ASSERT_TRUE(registry.add(first));
+
+  Scenario second = make_scenario("dup");
+  second.description = "the impostor";
+  EXPECT_FALSE(registry.add(second));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.find("dup")->description, "the original");
+}
+
+TEST(ScenarioRegistry, RejectsUnnamedOrBodylessScenarios) {
+  ScenarioRegistry registry;
+  EXPECT_FALSE(registry.add(make_scenario("")));
+  Scenario no_body = make_scenario("empty");
+  no_body.run = nullptr;
+  EXPECT_FALSE(registry.add(no_body));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ScenarioRegistry, FindSurvivesLaterAdds) {
+  ScenarioRegistry registry;
+  ASSERT_TRUE(registry.add(make_scenario("stable")));
+  const Scenario* s = registry.find("stable");
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(registry.add(make_scenario("filler" + std::to_string(i))));
+  EXPECT_EQ(s, registry.find("stable"));  // no reallocation moved it
+}
+
+// ------------------------------------------------- built-in scenarios
+
+TEST(PaperScenarios, RegistersEveryPaperArtefact) {
+  ScenarioRegistry registry;
+  const std::size_t added = register_paper_scenarios(registry);
+  EXPECT_GE(added, 15u);
+  for (const char* name : {"fig1", "fig2", "fig3", "fig4", "table1",
+                           "fig2-6g", "ablation-peering", "ablation-upf",
+                           "ablation-cpf"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  // Every entry is self-describing.
+  for (const Scenario* s : registry.list()) {
+    EXPECT_FALSE(s->artefact.empty()) << s->name;
+    EXPECT_FALSE(s->description.empty()) << s->name;
+    EXPECT_TRUE(static_cast<bool>(s->run)) << s->name;
+  }
+}
+
+TEST(PaperScenarios, RegistrationIsIdempotent) {
+  ScenarioRegistry registry;
+  const std::size_t first = register_paper_scenarios(registry);
+  const std::size_t second = register_paper_scenarios(registry);
+  EXPECT_GE(first, 15u);
+  EXPECT_EQ(second, 0u);
+  EXPECT_EQ(registry.size(), first);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(PaperScenarios, RunIsDeterministicForFixedSeed) {
+  ScenarioRegistry registry;
+  register_paper_scenarios(registry);
+  const Scenario* s = registry.find("table1");
+  ASSERT_NE(s, nullptr);
+
+  RunContext ctx;
+  ctx.seed = 42;
+  const std::string once = render(*s, s->run(ctx));
+  const std::string twice = render(*s, s->run(ctx));
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("anchor:"), std::string::npos);
+
+  RunContext other = ctx;
+  other.seed = 43;
+  EXPECT_NE(render(*s, s->run(other)), once);
+}
+
+TEST(PaperScenarios, ThreadCountDoesNotChangeResults) {
+  ScenarioRegistry registry;
+  register_paper_scenarios(registry);
+  const Scenario* s = registry.find("fig2");
+  ASSERT_NE(s, nullptr);
+
+  RunContext serial;
+  serial.seed = 7;
+  serial.threads = 1;
+  RunContext wide = serial;
+  wide.threads = 4;
+  EXPECT_EQ(render(*s, s->run(serial)), render(*s, s->run(wide)));
+}
+
+// ------------------------------------------------------- result shape
+
+TEST(ScenarioResult, KeepsEmissionOrderAndFilteredViews) {
+  ScenarioResult result;
+  result.add_note("before");
+  result.add_table(TextTable{{"h"}}, "titled");
+  result.add_anchor("metric", 1.5, "paper value");
+  result.add_note("after");
+  result.add_anchor("second", 2.5, "other");
+
+  EXPECT_EQ(result.items().size(), 5u);
+  EXPECT_EQ(result.table_count(), 1u);
+  const auto anchors = result.anchors();
+  ASSERT_EQ(anchors.size(), 2u);
+  EXPECT_EQ(anchors[0]->what, "metric");
+  EXPECT_DOUBLE_EQ(anchors[0]->measured, 1.5);
+  EXPECT_EQ(anchors[1]->what, "second");
+}
+
+TEST(ScenarioRender, ContainsBannerNotesTablesAndAnchors) {
+  Scenario s = make_scenario("render-me");
+  s.artefact = "Figure X";
+  s.description = "render test";
+  ScenarioResult result;
+  result.add_note("a note line");
+  TextTable t{{"col"}};
+  t.add_row({"cell"});
+  result.add_table(std::move(t), "A Title:");
+  result.add_anchor("quantity", 3.25, "about 3");
+
+  const std::string out = render(s, result);
+  EXPECT_NE(out.find("Figure X — render test"), std::string::npos);
+  EXPECT_NE(out.find("a note line"), std::string::npos);
+  EXPECT_NE(out.find("A Title:"), std::string::npos);
+  EXPECT_NE(out.find("cell"), std::string::npos);
+  EXPECT_NE(out.find("anchor: quantity"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+  EXPECT_NE(out.find("about 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sixg::core
