@@ -1,0 +1,11 @@
+// Section VI edge AI: the dynamic-batching trade-off on the edge
+// accelerator — batch window and max batch size against latency,
+// throughput and energy per inference.
+
+#include "bench_util.hpp"
+
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "batching-ablation"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("batching-ablation", argc, argv);
+}

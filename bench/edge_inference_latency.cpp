@@ -1,0 +1,12 @@
+// Section VI edge AI: inference serving for one model across the
+// network regimes — the detoured cloud status quo, edge placement with
+// and without local peering, the V-B access fix and the 6G target —
+// plus the inference-backed AR frame loop.
+
+#include "bench_util.hpp"
+
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "edge-inference-latency"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("edge-inference-latency", argc, argv);
+}

@@ -1,0 +1,11 @@
+// Section VI edge AI: per-request inference energy accounting — what
+// the device battery and the serving accelerator pay per tier, under
+// the measured 5G access and the 6G target.
+
+#include "bench_util.hpp"
+
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "energy-inference"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("energy-inference", argc, argv);
+}

@@ -1,0 +1,10 @@
+// Section VI edge AI: device/edge/cloud offload policies over a mixed
+// model workload across good and bad radio cells.
+
+#include "bench_util.hpp"
+
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "offload-policy"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("offload-policy", argc, argv);
+}

@@ -39,6 +39,13 @@ class ArGameSession {
     double throws_per_second = 0.8;  ///< controller event rate
     std::uint32_t frames = 36000;    ///< 10 minutes at 60 FPS
     std::uint64_t seed = 0xa59a;
+
+    /// Optional inference-backed frame loop (edge AI): each frame's scene
+    /// understanding (detection/pose for the overlay) must return within
+    /// the same budget, so its per-request serving latency adds to the
+    /// frame's network loop. Null (the default) reproduces the original
+    /// pure-transport game: no extra RNG draws, identical results.
+    RttSampler inference;
   };
 
   ArGameSession(RttSampler rtt, Config config);

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/registry.hpp"
@@ -26,8 +27,10 @@ void print_usage(std::FILE* out) {
       "\n"
       "options:\n"
       "  --list              list all registered scenarios and exit\n"
-      "  --run <name|all>    run one scenario by name, or every scenario;\n"
-      "                      may be given multiple times\n"
+      "  --run <names|all>   run scenarios: a name, a comma-separated\n"
+      "                      list of names, or 'all'; may be given\n"
+      "                      multiple times\n"
+      "  --format F          output format: text (default) or json\n"
       "  --threads N         worker threads for parallel scenarios\n"
       "                      (default 0 = hardware concurrency)\n"
       "  --seed S            base seed; scenarios derive their streams\n"
@@ -37,12 +40,29 @@ void print_usage(std::FILE* out) {
       "examples:\n"
       "  sixg_run --list\n"
       "  sixg_run --run fig2\n"
-      "  sixg_run --run table1 --run fig4 --seed 7\n"
-      "  sixg_run --run all --threads 8\n",
+      "  sixg_run --run table1,fig4 --seed 7\n"
+      "  sixg_run --run all --threads 8\n"
+      "  sixg_run --run edge-inference-latency --format json\n",
       out);
 }
 
-void print_list(const ScenarioRegistry& registry) {
+void print_list(const ScenarioRegistry& registry, bool json) {
+  if (json) {
+    // Reuse the scenario JSON renderer so the descriptor fields are
+    // escaped identically to --run output; an empty result contributes
+    // only the name/artefact/description header and an empty items list.
+    std::fputs("[", stdout);
+    bool first = true;
+    for (const Scenario* s : registry.list()) {
+      if (!first) std::fputs(",\n", stdout);
+      first = false;
+      std::fputs(
+          sixg::core::render_json(*s, sixg::core::ScenarioResult{}).c_str(),
+          stdout);
+    }
+    std::fputs("]\n", stdout);
+    return;
+  }
   sixg::TextTable t{{"Name", "Artefact", "Description"}};
   t.set_align(0, sixg::TextTable::Align::kLeft);
   t.set_align(1, sixg::TextTable::Align::kLeft);
@@ -52,6 +72,23 @@ void print_list(const ScenarioRegistry& registry) {
   }
   std::printf("%s%zu scenarios registered\n", t.str().c_str(),
               registry.size());
+}
+
+/// Split a --run value on commas. Empty segments ("a,,b", a trailing
+/// comma) are preserved so they fail name resolution loudly instead of
+/// being silently dropped.
+std::vector<std::string> split_names(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(value.substr(start));
+      return out;
+    }
+    out.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
 }
 
 bool parse_u64(const char* text, std::uint64_t* out) {
@@ -76,6 +113,7 @@ int main(int argc, char** argv) {
   sixg::core::register_paper_scenarios(registry);
 
   bool list = false;
+  bool json = false;
   std::vector<std::string> to_run;
   RunContext ctx;
 
@@ -94,7 +132,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--run") {
-      to_run.emplace_back(next());
+      for (auto& name : split_names(next())) to_run.push_back(std::move(name));
+    } else if (arg == "--format") {
+      const std::string value = next();
+      if (value == "json") {
+        json = true;
+      } else if (value == "text") {
+        json = false;
+      } else {
+        std::fprintf(stderr,
+                     "sixg_run: unknown --format '%s' (text or json)\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (arg == "--threads") {
       std::uint64_t v = 0;
       constexpr std::uint64_t kMaxThreads = 4096;
@@ -121,7 +171,17 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return 0;
   }
-  if (list) print_list(registry);
+  if (list && !to_run.empty() && json) {
+    // Two JSON documents on one stream would be unparseable.
+    std::fprintf(stderr,
+                 "sixg_run: --list and --run cannot be combined with "
+                 "--format json\n");
+    return 2;
+  }
+  if (list) {
+    print_list(registry, json);
+    if (to_run.empty()) return 0;
+  }
 
   // Resolve names first so a typo fails before hours of scenarios run.
   std::vector<const Scenario*> selected;
@@ -137,6 +197,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     selected.push_back(s);
+  }
+
+  if (json) {
+    // One JSON array regardless of scenario count, so consumers parse
+    // the same shape for --run fig2 and --run all.
+    std::fputs("[", stdout);
+    bool first = true;
+    for (const Scenario* s : selected) {
+      if (!first) std::fputs(",\n", stdout);
+      first = false;
+      const auto result = s->run(ctx);
+      std::fputs(sixg::core::render_json(*s, result).c_str(), stdout);
+    }
+    std::fputs("]\n", stdout);
+    return 0;
   }
 
   // Blank line between scenarios only, so single-scenario output is

@@ -29,6 +29,9 @@ class TextTable {
   [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
     return rows_.at(i);
   }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
 
   /// Render with box-drawing separators.
   [[nodiscard]] std::string str() const;

@@ -1,5 +1,6 @@
 #include "core/registry.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -88,6 +89,121 @@ std::string render(const Scenario& scenario, const ScenarioResult& result) {
     std::visit(ItemRenderer{os}, item);
     last_was_anchor = is_anchor;
   }
+  return os.str();
+}
+
+namespace {
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_json_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void append_string_array(std::ostringstream& os,
+                         const std::vector<std::string>& items) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ',';
+    append_json_string(os, items[i]);
+  }
+  os << ']';
+}
+
+struct JsonItemRenderer {
+  std::ostringstream& os;
+
+  void operator()(const ScenarioResult::Note& n) const {
+    os << "{\"kind\":\"note\",\"text\":";
+    append_json_string(os, n.text);
+    os << '}';
+  }
+  void operator()(const ScenarioResult::TitledTable& t) const {
+    os << "{\"kind\":\"table\",\"title\":";
+    append_json_string(os, t.title);
+    os << ",\"header\":";
+    append_string_array(os, t.table.header());
+    os << ",\"rows\":[";
+    for (std::size_t i = 0; i < t.table.row_count(); ++i) {
+      if (i > 0) os << ',';
+      append_string_array(os, t.table.row(i));
+    }
+    os << "]}";
+  }
+  void operator()(const ScenarioResult::Anchor& a) const {
+    os << "{\"kind\":\"anchor\",\"what\":";
+    append_json_string(os, a.what);
+    os << ",\"measured\":";
+    append_json_number(os, a.measured);
+    os << ",\"paper\":";
+    append_json_string(os, a.paper);
+    os << '}';
+  }
+};
+
+}  // namespace
+
+std::string render_json(const Scenario& scenario,
+                        const ScenarioResult& result) {
+  std::ostringstream os;
+  os << "{\"name\":";
+  append_json_string(os, scenario.name);
+  os << ",\"artefact\":";
+  append_json_string(os, scenario.artefact);
+  os << ",\"description\":";
+  append_json_string(os, scenario.description);
+  os << ",\"items\":[";
+  bool first = true;
+  for (const auto& item : result.items()) {
+    if (!first) os << ',';
+    first = false;
+    std::visit(JsonItemRenderer{os}, item);
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -120,4 +120,12 @@ class ScenarioRegistry {
 [[nodiscard]] std::string render(const Scenario& scenario,
                                  const ScenarioResult& result);
 
+/// Render a scenario result as a JSON object (machine-readable twin of
+/// render()): {"name", "artefact", "description", "items": [...]} where
+/// each item is {"kind": "note"|"table"|"anchor", ...} in emission order.
+/// Tables carry their header and rows as string arrays; anchor `measured`
+/// is a JSON number (null when not finite).
+[[nodiscard]] std::string render_json(const Scenario& scenario,
+                                      const ScenarioResult& result);
+
 }  // namespace sixg::core

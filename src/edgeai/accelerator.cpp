@@ -1,0 +1,138 @@
+#include "edgeai/accelerator.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sixg::edgeai {
+
+AcceleratorProfile AcceleratorProfile::device_npu() {
+  return AcceleratorProfile{.name = "device-NPU",
+                            .peak_gflops = 4000.0,
+                            .utilization = 0.35,
+                            .memory = DataSize::megabytes(512),
+                            .dispatch_overhead = Duration::micros(300),
+                            .idle_watts = 0.3,
+                            .peak_watts = 4.0};
+}
+
+AcceleratorProfile AcceleratorProfile::edge_gpu() {
+  return AcceleratorProfile{.name = "edge-GPU",
+                            .peak_gflops = 60000.0,
+                            .utilization = 0.55,
+                            .memory = DataSize::gigabytes(16),
+                            .dispatch_overhead = Duration::micros(150),
+                            .idle_watts = 40.0,
+                            .peak_watts = 250.0};
+}
+
+AcceleratorProfile AcceleratorProfile::cloud_gpu() {
+  return AcceleratorProfile{.name = "cloud-GPU",
+                            .peak_gflops = 300000.0,
+                            .utilization = 0.65,
+                            .memory = DataSize::gigabytes(80),
+                            .dispatch_overhead = Duration::micros(120),
+                            .idle_watts = 80.0,
+                            .peak_watts = 700.0};
+}
+
+Duration AcceleratorProfile::service_time(const ModelProfile& model,
+                                          std::uint32_t batch) const {
+  SIXG_ASSERT(batch >= 1, "batch size must be positive");
+  const double sustained_gflops = peak_gflops * utilization;
+  const double seconds = model.batch_gflops(batch) / sustained_gflops;
+  return dispatch_overhead + Duration::from_seconds_f(seconds);
+}
+
+double AcceleratorProfile::batch_joules(const ModelProfile& model,
+                                        std::uint32_t batch) const {
+  const double busy_watts =
+      idle_watts + (peak_watts - idle_watts) * utilization;
+  return busy_watts * service_time(model, batch).sec();
+}
+
+AcceleratorServer::AcceleratorServer(netsim::Simulator& sim,
+                                     AcceleratorProfile accelerator,
+                                     ModelProfile model, BatchingConfig config)
+    : sim_(sim),
+      acc_(std::move(accelerator)),
+      model_(std::move(model)),
+      config_(config) {
+  SIXG_ASSERT(config_.max_batch >= 1, "max_batch must be positive");
+  SIXG_ASSERT(config_.queue_capacity >= 1, "queue capacity must be positive");
+  SIXG_ASSERT(!config_.batch_window.is_negative(),
+              "batch window must be non-negative");
+  SIXG_ASSERT(acc_.fits(model_), "model does not fit accelerator memory");
+}
+
+bool AcceleratorServer::submit(std::uint64_t request_id,
+                               CompletionHandler on_done) {
+  if (queue_.size() >= config_.queue_capacity) {
+    ++dropped_;
+    return false;
+  }
+  ++submitted_;
+  queue_.push_back(Pending{request_id, sim_.now(), std::move(on_done)});
+  if (!busy_) maybe_dispatch();
+  return true;
+}
+
+void AcceleratorServer::maybe_dispatch() {
+  SIXG_ASSERT(!busy_, "dispatch re-evaluated while a batch is in flight");
+  if (queue_.empty()) return;
+  if (queue_.size() >= config_.max_batch) {
+    launch_batch();
+    return;
+  }
+  if (window_armed_) return;
+  // First waiting request arms the window; the timer carries the epoch so
+  // a batch launched meanwhile (full batch, completion drain) makes the
+  // stale firing a no-op.
+  window_armed_ = true;
+  const std::uint64_t epoch = window_epoch_;
+  sim_.schedule_after(config_.batch_window, [this, epoch] {
+    if (epoch != window_epoch_) return;
+    window_armed_ = false;
+    ++window_epoch_;
+    if (!busy_ && !queue_.empty()) launch_batch();
+  });
+}
+
+void AcceleratorServer::launch_batch() {
+  SIXG_ASSERT(!busy_ && !queue_.empty(), "launch needs an idle server");
+  // Any armed window is now stale.
+  window_armed_ = false;
+  ++window_epoch_;
+
+  const auto n = std::uint32_t(
+      std::min<std::size_t>(queue_.size(), config_.max_batch));
+  std::vector<Pending> batch;
+  batch.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  ++batches_;
+  completed_in_batches_ += n;
+  busy_ = true;
+
+  const TimePoint started = sim_.now();
+  const Duration service = acc_.service_time(model_, n);
+  sim_.schedule_after(service, [this, started, n,
+                                batch = std::move(batch)]() mutable {
+    busy_ = false;
+    const TimePoint done = sim_.now();
+    for (auto& p : batch) {
+      ++completed_;
+      if (p.on_done) {
+        p.on_done(Completion{p.id, p.submitted, started, done, n});
+      }
+    }
+    // Requests that queued behind this batch are served next, FIFO.
+    maybe_dispatch();
+  });
+}
+
+}  // namespace sixg::edgeai

@@ -1,0 +1,144 @@
+/// @file accelerator.hpp — inference accelerator profiles and the
+/// event-driven accelerator server: a bounded request queue drained with
+/// dynamic batching (batch window + max batch size) on the netsim kernel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "edgeai/model.hpp"
+#include "netsim/simulator.hpp"
+
+namespace sixg::edgeai {
+
+/// Analytic profile of one inference accelerator class. Service time is
+/// the roofline estimate: batch compute over sustained throughput, plus a
+/// per-batch dispatch overhead (kernel launch, scheduling, PCIe).
+struct AcceleratorProfile {
+  std::string name;
+  double peak_gflops = 1000.0;  ///< dense peak throughput
+  double utilization = 0.5;     ///< sustained fraction of peak, (0,1]
+  DataSize memory;              ///< model memory budget
+  Duration dispatch_overhead;   ///< per-batch launch + scheduling cost
+  double idle_watts = 1.0;      ///< powered-on floor
+  double peak_watts = 10.0;     ///< draw while executing a batch
+
+  /// Smartphone NPU: the device tier of the offload decision.
+  [[nodiscard]] static AcceleratorProfile device_npu();
+  /// Single edge-site inference GPU (the paper's edge UPF co-location).
+  [[nodiscard]] static AcceleratorProfile edge_gpu();
+  /// Datacenter training/inference GPU behind the WAN detour.
+  [[nodiscard]] static AcceleratorProfile cloud_gpu();
+
+  /// Can the model's weights be resident on this accelerator at all?
+  [[nodiscard]] bool fits(const ModelProfile& model) const {
+    return model.weights <= memory;
+  }
+
+  /// Execution time of one batch of `batch` requests of `model`.
+  [[nodiscard]] Duration service_time(const ModelProfile& model,
+                                      std::uint32_t batch) const;
+
+  /// Energy of one batch: busy power (idle floor plus the utilised share
+  /// of the dynamic range) integrated over the service time.
+  [[nodiscard]] double batch_joules(const ModelProfile& model,
+                                    std::uint32_t batch) const;
+};
+
+/// Event-driven inference server bound to one netsim::Simulator timeline.
+///
+/// Requests enter a bounded FIFO queue. The server drains it with
+/// *dynamic batching*: a batch launches immediately once `max_batch`
+/// requests wait, otherwise a batch window (armed by the first waiting
+/// request) expires and launches whatever has accumulated. While a batch
+/// executes, arrivals queue; completion re-evaluates the same rules, so
+/// the server is work-conserving up to the window.
+///
+/// Determinism: all scheduling goes through the simulator's FIFO
+/// event queue; no wall clock, no RNG. Same submissions -> same batches.
+class AcceleratorServer {
+ public:
+  struct BatchingConfig {
+    std::uint32_t max_batch = 8;  ///< launch as soon as this many wait
+    /// Max *gathering* wait before a sub-max batch launches (0 = none).
+    /// The window arms whenever the server becomes free with a non-full
+    /// queue — including right after a completion, Triton-style — so it
+    /// bounds the fill wait from the moment a request could have been
+    /// scheduled, not its total queue time behind in-flight batches.
+    Duration batch_window;
+    std::size_t queue_capacity = 256;  ///< beyond this, submissions drop
+  };
+
+  /// Per-request completion record.
+  struct Completion {
+    std::uint64_t request_id = 0;
+    TimePoint submitted;       ///< queue entry time
+    TimePoint started;         ///< batch launch time
+    TimePoint done;            ///< batch completion time
+    std::uint32_t batch_size = 0;  ///< size of the batch it rode in
+
+    [[nodiscard]] Duration queue_wait() const { return started - submitted; }
+    [[nodiscard]] Duration service() const { return done - started; }
+    [[nodiscard]] Duration total() const { return done - submitted; }
+  };
+  using CompletionHandler = std::function<void(const Completion&)>;
+
+  AcceleratorServer(netsim::Simulator& sim, AcceleratorProfile accelerator,
+                    ModelProfile model, BatchingConfig config);
+
+  AcceleratorServer(const AcceleratorServer&) = delete;
+  AcceleratorServer& operator=(const AcceleratorServer&) = delete;
+
+  /// Enqueue a request at sim.now(). Returns false (and counts a drop)
+  /// when the queue is at capacity; `on_done` then never fires.
+  bool submit(std::uint64_t request_id, CompletionHandler on_done);
+
+  // -- introspection --------------------------------------------------------
+  [[nodiscard]] const AcceleratorProfile& accelerator() const { return acc_; }
+  [[nodiscard]] const ModelProfile& model() const { return model_; }
+  [[nodiscard]] const BatchingConfig& batching() const { return config_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t batches_launched() const { return batches_; }
+
+  /// Mean size of the batches launched so far (0 before any launch).
+  [[nodiscard]] double mean_batch_size() const {
+    return batches_ == 0 ? 0.0 : double(completed_in_batches_) / double(batches_);
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t id;
+    TimePoint submitted;
+    CompletionHandler on_done;
+  };
+
+  /// Re-evaluate the batching rules; only meaningful when idle.
+  void maybe_dispatch();
+  void launch_batch();
+
+  netsim::Simulator& sim_;
+  AcceleratorProfile acc_;
+  ModelProfile model_;
+  BatchingConfig config_;
+
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  bool window_armed_ = false;
+  std::uint64_t window_epoch_ = 0;  // stale window timers see a newer epoch
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t completed_in_batches_ = 0;
+};
+
+}  // namespace sixg::edgeai

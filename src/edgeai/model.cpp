@@ -1,0 +1,117 @@
+#include "edgeai/model.hpp"
+
+#include "common/assert.hpp"
+
+namespace sixg::edgeai {
+
+const char* to_string(AccuracyTier tier) {
+  switch (tier) {
+    case AccuracyTier::kLite:
+      return "lite";
+    case AccuracyTier::kBase:
+      return "base";
+    case AccuracyTier::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+double ModelProfile::batch_gflops(std::uint32_t batch) const {
+  SIXG_ASSERT(batch >= 1, "batch size must be positive");
+  return gflops * (1.0 + double(batch - 1) * batch_marginal_cost);
+}
+
+const std::vector<ModelProfile>& ModelZoo::profiles() {
+  // Magnitudes follow the published model families each entry stands in
+  // for (MobileNet-SSD, YOLO, HRNet, Mask2Former, a small VLM): compute
+  // in GFLOPs per inference, weights in fp16 bytes, payloads as
+  // compressed request/response sizes.
+  static const std::vector<ModelProfile> zoo = {
+      {.name = "kws-lite",
+       .tier = AccuracyTier::kLite,
+       .task = "keyword spotting",
+       .gflops = 0.05,
+       .weights = DataSize::megabytes(2),
+       .input_size = DataSize::kilobytes(16),
+       .output_size = DataSize::bytes(256),
+       .accuracy = 0.90,
+       .batch_marginal_cost = 0.50},
+      {.name = "det-lite",
+       .tier = AccuracyTier::kLite,
+       .task = "mobile object detection",
+       .gflops = 1.2,
+       .weights = DataSize::megabytes(6),
+       .input_size = DataSize::kilobytes(80),
+       .output_size = DataSize::kilobytes(4),
+       .accuracy = 0.62,
+       .batch_marginal_cost = 0.45},
+      {.name = "det-base",
+       .tier = AccuracyTier::kBase,
+       .task = "object detection (AR overlay)",
+       .gflops = 17.0,
+       .weights = DataSize::megabytes(50),
+       .input_size = DataSize::kilobytes(180),
+       .output_size = DataSize::kilobytes(6),
+       .accuracy = 0.78,
+       .batch_marginal_cost = 0.35},
+      {.name = "pose-base",
+       .tier = AccuracyTier::kBase,
+       .task = "hand/body pose estimation",
+       .gflops = 9.0,
+       .weights = DataSize::megabytes(30),
+       .input_size = DataSize::kilobytes(120),
+       .output_size = DataSize::kilobytes(3),
+       .accuracy = 0.74,
+       .batch_marginal_cost = 0.35},
+      {.name = "seg-large",
+       .tier = AccuracyTier::kLarge,
+       .task = "panoptic segmentation",
+       .gflops = 65.0,
+       .weights = DataSize::megabytes(180),
+       .input_size = DataSize::kilobytes(250),
+       .output_size = DataSize::kilobytes(40),
+       .accuracy = 0.84,
+       .batch_marginal_cost = 0.30},
+      {.name = "caption-large",
+       .tier = AccuracyTier::kLarge,
+       .task = "multimodal scene captioning",
+       .gflops = 240.0,
+       .weights = DataSize::megabytes(1400),
+       .input_size = DataSize::kilobytes(250),
+       .output_size = DataSize::kilobytes(2),
+       .accuracy = 0.88,
+       .batch_marginal_cost = 0.25},
+  };
+  return zoo;
+}
+
+const ModelProfile* ModelZoo::find(std::string_view name) {
+  for (const auto& m : profiles()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const ModelProfile& ModelZoo::at(std::string_view name) {
+  const ModelProfile* m = find(name);
+  SIXG_ASSERT(m != nullptr, "unknown model in zoo");
+  return *m;
+}
+
+TextTable ModelZoo::table() {
+  TextTable t{{"Model", "Tier", "Task", "GFLOPs", "Weights (MB)", "In (KB)",
+               "Out (KB)", "Accuracy"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  t.set_align(1, TextTable::Align::kLeft);
+  t.set_align(2, TextTable::Align::kLeft);
+  for (const auto& m : profiles()) {
+    t.add_row({m.name, to_string(m.tier), m.task, TextTable::num(m.gflops, 2),
+               TextTable::num(m.weights.megabytes_f(), 0),
+               TextTable::num(m.input_size.byte_count() / 1e3, 0),
+               TextTable::num(m.output_size.byte_count() / 1e3, 1),
+               TextTable::num(m.accuracy, 2)});
+  }
+  return t;
+}
+
+}  // namespace sixg::edgeai

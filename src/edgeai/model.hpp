@@ -1,0 +1,69 @@
+/// @file model.hpp — the inference model zoo: analytic profiles of the
+/// edge-AI workloads the infrastructure serves (compute cost, memory
+/// footprint, payload sizes, accuracy tier, batch scaling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace sixg::edgeai {
+
+/// Coarse accuracy/size class of a model. The offload question only
+/// becomes interesting once the zoo spans tiers: kLite fits on the
+/// device NPU, kLarge does not even fit in its memory.
+enum class AccuracyTier : std::uint8_t { kLite, kBase, kLarge };
+
+[[nodiscard]] const char* to_string(AccuracyTier tier);
+
+/// Analytic profile of one inference model. The simulation works at
+/// request granularity: a model is its compute cost, its memory
+/// footprint, its request/response payloads and how its cost scales
+/// with batch size — not its architecture.
+struct ModelProfile {
+  std::string name;
+  AccuracyTier tier = AccuracyTier::kBase;
+  std::string task;          ///< what the model does (zoo table only)
+  double gflops = 1.0;       ///< compute per single inference
+  DataSize weights;          ///< parameter memory footprint
+  DataSize input_size;       ///< uplink payload per request
+  DataSize output_size;      ///< downlink payload per request
+  double accuracy = 0.5;     ///< normalised task accuracy, (0,1]
+
+  /// Marginal compute cost of each batch item beyond the first, as a
+  /// fraction of a lone inference. Weight traffic is amortised across
+  /// the batch, so the marginal item is cheaper than the first — this
+  /// single knob is what makes dynamic batching pay.
+  double batch_marginal_cost = 0.35;
+
+  /// Total compute of one batch of `batch` requests:
+  /// gflops * (1 + (batch-1) * batch_marginal_cost). Linear in batch
+  /// with a sub-1 slope, so per-item cost falls monotonically.
+  [[nodiscard]] double batch_gflops(std::uint32_t batch) const;
+};
+
+/// The built-in model zoo: a fixed, ordered set of profiles spanning the
+/// three tiers, calibrated to the edge-AI workload classes the paper's
+/// Section VI and Letaief et al. name (perception for AR, speech,
+/// segmentation, multimodal captioning).
+class ModelZoo {
+ public:
+  /// All profiles in registration order (stable across runs).
+  [[nodiscard]] static const std::vector<ModelProfile>& profiles();
+
+  /// Find by exact name; nullptr when absent.
+  [[nodiscard]] static const ModelProfile* find(std::string_view name);
+
+  /// Find by exact name; asserts the model exists (zoo misuse is a
+  /// programming error, not a runtime condition).
+  [[nodiscard]] static const ModelProfile& at(std::string_view name);
+
+  /// The zoo rendered as a report table.
+  [[nodiscard]] static TextTable table();
+};
+
+}  // namespace sixg::edgeai

@@ -1,0 +1,112 @@
+#include "edgeai/serving.hpp"
+
+#include "common/assert.hpp"
+#include "netsim/simulator.hpp"
+#include "stats/distributions.hpp"
+
+namespace sixg::edgeai {
+
+double ServingStudy::Report::within(Duration budget) const {
+  if (e2e_samples_ms.empty()) return 0.0;
+  std::uint64_t ok = 0;
+  for (const double ms : e2e_samples_ms) {
+    if (ms <= budget.ms()) ++ok;
+  }
+  return double(ok) / double(e2e_samples_ms.size());
+}
+
+ServingStudy::Report ServingStudy::run(const Config& config) {
+  SIXG_ASSERT(config.arrivals_per_second > 0.0, "arrival rate must be positive");
+  SIXG_ASSERT(config.requests >= 1, "need at least one request");
+  SIXG_ASSERT(static_cast<bool>(config.uplink) ==
+                  static_cast<bool>(config.downlink),
+              "uplink and downlink samplers must be set together: latency "
+              "and energy accounting both key on the pair");
+
+  netsim::Simulator sim{config.seed};
+  AcceleratorServer server{sim, config.accelerator, config.model,
+                           config.batching};
+  const InferenceEnergyModel energy{config.energy};
+  const bool networked = static_cast<bool>(config.uplink);
+  // The payload still pays serialisation at the access link even though
+  // the propagation part comes from the sampler.
+  const Duration up_airtime =
+      networked ? energy.uplink_airtime(config.model) : Duration{};
+  const Duration down_airtime =
+      networked ? energy.downlink_airtime(config.model) : Duration{};
+
+  // Independent derived streams: arrivals, uplink and downlink draws
+  // cannot shift each other (determinism contract rule 2).
+  Rng arrival_rng{derive_seed(config.seed, 0xa221)};
+  Rng uplink_rng{derive_seed(config.seed, 0x0b11)};
+  Rng downlink_rng{derive_seed(config.seed, 0xd011)};
+
+  Report report;
+  EnergyBreakdown energy_sum;
+  TimePoint makespan;
+
+  // Poisson arrivals: exponential inter-arrival times.
+  const stats::ShiftedExponential interarrival{
+      0.0, 1.0 / config.arrivals_per_second};
+
+  // Pre-compute the arrival schedule; each arrival event then draws its
+  // own network delays in event order (single-threaded kernel -> the
+  // draw order is the arrival order, always).
+  Duration at;
+  for (std::uint32_t i = 0; i < config.requests; ++i) {
+    at += Duration::from_seconds_f(interarrival.sample(arrival_rng));
+    sim.schedule_at(TimePoint{} + at, [&, id = std::uint64_t(i)] {
+      const TimePoint device_start = sim.now();
+      const Duration up =
+          networked ? config.uplink(uplink_rng) + up_airtime : Duration{};
+      sim.schedule_after(up, [&, id, device_start, up] {
+        const bool accepted = server.submit(
+            id, [&, device_start, up](const AcceleratorServer::Completion& c) {
+              const Duration down =
+                  config.downlink ? config.downlink(downlink_rng) + down_airtime
+                                  : Duration{};
+              sim.schedule_after(down, [&, device_start, up, down, c] {
+                const Duration e2e = sim.now() - device_start;
+                report.e2e_ms.add(e2e.ms());
+                report.e2e_q.add(e2e.ms());
+                report.e2e_samples_ms.push_back(e2e.ms());
+                report.network_ms.add((up + down).ms());
+                report.queue_ms.add(c.queue_wait().ms());
+                report.service_ms.add(c.service().ms());
+                report.batch_size.add(double(c.batch_size));
+                if (networked) {
+                  energy_sum += energy.offloaded(config.model,
+                                                 config.accelerator, e2e,
+                                                 c.batch_size);
+                } else {
+                  EnergyBreakdown local;
+                  local.device_compute_j =
+                      config.accelerator.batch_joules(config.model,
+                                                      c.batch_size) /
+                      double(c.batch_size);
+                  energy_sum += local;
+                }
+                if (sim.now() > makespan) makespan = sim.now();
+              });
+            });
+        (void)accepted;  // drops are counted by the server
+      });
+    });
+  }
+
+  sim.run();
+
+  report.completed = server.completed();
+  report.dropped = server.dropped();
+  report.batches = server.batches_launched();
+  if (report.completed > 0) {
+    energy_sum /= double(report.completed);
+    report.mean_energy = energy_sum;
+  }
+  const double makespan_sec = (makespan - TimePoint{}).sec();
+  if (makespan_sec > 0.0)
+    report.throughput_per_s = double(report.completed) / makespan_sec;
+  return report;
+}
+
+}  // namespace sixg::edgeai

@@ -1,0 +1,72 @@
+/// @file serving.hpp — end-to-end inference-serving simulation: an open
+/// request stream crosses a sampled network path, queues at an
+/// AcceleratorServer with dynamic batching, and returns; the study
+/// reports the latency decomposition, batching behaviour and per-request
+/// energy. One ServingStudy run = one Simulator timeline = one seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "edgeai/accelerator.hpp"
+#include "edgeai/energy.hpp"
+#include "edgeai/model.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace sixg::edgeai {
+
+/// Runs one inference-serving workload on one simulator timeline.
+class ServingStudy {
+ public:
+  /// Samples one one-way network traversal (radio + wired path). A null
+  /// sampler means the hop does not exist (on-device serving).
+  using DelaySampler = std::function<Duration(Rng&)>;
+
+  struct Config {
+    ModelProfile model = ModelZoo::at("det-base");
+    AcceleratorProfile accelerator = AcceleratorProfile::edge_gpu();
+    AcceleratorServer::BatchingConfig batching;
+    InferenceEnergyModel::Config energy;
+
+    double arrivals_per_second = 400.0;  ///< Poisson open-loop offered load
+    std::uint32_t requests = 2000;       ///< arrivals to generate
+    /// Both set (offloaded serving: latency adds the hops, energy bills
+    /// the radio) or both null (on-device serving) — run() asserts the
+    /// pairing, since latency and energy accounting both key on it.
+    DelaySampler uplink;    ///< request path towards the server
+    DelaySampler downlink;  ///< response path back to the device
+    std::uint64_t seed = 1;
+  };
+
+  struct Report {
+    stats::Summary e2e_ms;      ///< device-to-device, completed requests
+    stats::QuantileSample e2e_q;
+    stats::Summary network_ms;  ///< uplink + downlink + airtime share
+    stats::Summary queue_ms;    ///< accelerator queue wait
+    stats::Summary service_ms;  ///< batch execution share
+    stats::Summary batch_size;  ///< batch each completed request rode in
+
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;   ///< bounded-queue rejections
+    std::uint64_t batches = 0;
+    double throughput_per_s = 0.0;  ///< completed / makespan
+    EnergyBreakdown mean_energy;    ///< per completed request
+
+    /// Raw per-request end-to-end samples (ms), in completion order —
+    /// feeds empirical samplers (e.g. the AR frame loop).
+    std::vector<double> e2e_samples_ms;
+
+    /// Share of completed requests within `budget`.
+    [[nodiscard]] double within(Duration budget) const;
+  };
+
+  /// Pure function of the config (determinism contract): same config ->
+  /// same report, independent of wall clock and thread count.
+  [[nodiscard]] static Report run(const Config& config);
+};
+
+}  // namespace sixg::edgeai

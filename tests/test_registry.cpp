@@ -1,10 +1,190 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
 #include "core/registry.hpp"
 #include "core/scenarios.hpp"
 
 namespace sixg::core {
 namespace {
+
+// --------------------------------------------------- minimal JSON parser
+// Just enough RFC 8259 to round-trip render_json() output in tests:
+// objects, arrays, strings with escapes, numbers, null. Throws
+// std::runtime_error on malformed input.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing data");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error("expected different character");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return JsonValue{string()};
+      case 'n':
+        if (text_.substr(pos_, 4) != "null")
+          throw std::runtime_error("bad literal");
+        pos_ += 4;
+        return JsonValue{nullptr};
+      default:
+        return JsonValue{number()};
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      (*obj)[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(obj)};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    while (true) {
+      arr->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(arr)};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+          const unsigned code = unsigned(
+              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                           nullptr, 16));
+          pos_ += 4;
+          if (code > 0x7f) throw std::runtime_error("non-ASCII \\u in tests");
+          out.push_back(char(code));
+          break;
+        }
+        default:
+          throw std::runtime_error("bad escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("bad number");
+    char* end = nullptr;
+    const std::string token{text_.substr(start, pos_ - start)};
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') throw std::runtime_error("bad number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
 
 Scenario make_scenario(std::string name) {
   Scenario s;
@@ -152,6 +332,61 @@ TEST(ScenarioResult, KeepsEmissionOrderAndFilteredViews) {
   EXPECT_EQ(anchors[0]->what, "metric");
   EXPECT_DOUBLE_EQ(anchors[0]->measured, 1.5);
   EXPECT_EQ(anchors[1]->what, "second");
+}
+
+TEST(ScenarioRenderJson, RoundTripsThroughAParser) {
+  Scenario s = make_scenario("json-me");
+  s.artefact = "Figure J";
+  s.description = "json \"round\" trip\nwith control chars\t";
+  ScenarioResult result;
+  result.add_note("a note with a \\ backslash");
+  TextTable t{{"col A", "col B"}};
+  t.add_row({"cell 1", "cell 2"});
+  result.add_table(std::move(t), "A Title:");
+  result.add_anchor("quantity", 3.25, "about 3");
+  result.add_anchor("exact", 65.0, "65 ms");
+
+  const std::string json = render_json(s, result);
+  const JsonValue root = JsonParser{json}.parse();  // throws on bad JSON
+
+  const auto& obj = root.object();
+  EXPECT_EQ(obj.at("name").str(), "json-me");
+  EXPECT_EQ(obj.at("artefact").str(), "Figure J");
+  // Escapes survive the round trip exactly.
+  EXPECT_EQ(obj.at("description").str(), s.description);
+
+  const auto& items = obj.at("items").array();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].object().at("kind").str(), "note");
+  EXPECT_EQ(items[0].object().at("text").str(), "a note with a \\ backslash");
+
+  const auto& table = items[1].object();
+  EXPECT_EQ(table.at("kind").str(), "table");
+  EXPECT_EQ(table.at("title").str(), "A Title:");
+  ASSERT_EQ(table.at("header").array().size(), 2u);
+  EXPECT_EQ(table.at("header").array()[0].str(), "col A");
+  ASSERT_EQ(table.at("rows").array().size(), 1u);
+  EXPECT_EQ(table.at("rows").array()[0].array()[1].str(), "cell 2");
+
+  const auto& anchor = items[2].object();
+  EXPECT_EQ(anchor.at("kind").str(), "anchor");
+  EXPECT_EQ(anchor.at("what").str(), "quantity");
+  EXPECT_DOUBLE_EQ(anchor.at("measured").number(), 3.25);
+  EXPECT_EQ(anchor.at("paper").str(), "about 3");
+  EXPECT_DOUBLE_EQ(items[3].object().at("measured").number(), 65.0);
+}
+
+TEST(ScenarioRenderJson, BuiltInScenarioOutputParses) {
+  ScenarioRegistry registry;
+  register_paper_scenarios(registry);
+  const Scenario* s = registry.find("fig4");
+  ASSERT_NE(s, nullptr);
+  RunContext ctx;
+  ctx.seed = 3;
+  const std::string json = render_json(*s, s->run(ctx));
+  const JsonValue root = JsonParser{json}.parse();
+  EXPECT_EQ(root.object().at("name").str(), "fig4");
+  EXPECT_FALSE(root.object().at("items").array().empty());
 }
 
 TEST(ScenarioRender, ContainsBannerNotesTablesAndAnchors) {
