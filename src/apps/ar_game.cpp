@@ -1,6 +1,7 @@
 #include "apps/ar_game.hpp"
 
 #include "common/assert.hpp"
+#include "netsim/simulator.hpp"
 
 namespace sixg::apps {
 
@@ -18,7 +19,16 @@ ArGameSession::Report ArGameSession::run() const {
   const double throws_per_frame =
       config_.throws_per_second / config_.frame_rate_hz;
 
-  for (std::uint32_t f = 0; f < config_.frames; ++f) {
+  // The session is paced by the kernel's timer wheel: one periodic frame
+  // clock that disarms itself after the configured frame budget. The
+  // session keeps its own RNG (seeded from the config, independent of
+  // the timeline), so results are a pure function of the config — and
+  // identical to the former plain-loop implementation.
+  netsim::Simulator sim;
+  std::uint32_t frames_done = 0;
+  netsim::Simulator::TimerHandle frame_clock;
+  if (config_.frames == 0) return report;
+  frame_clock = sim.schedule_every(Duration{}, frame_interval, [&] {
     // VideoStreamingService: the frame shows the opponent's state one
     // half-RTT old, plus the wait until the next frame boundary (uniform
     // within the interval) and the render pipeline.
@@ -60,7 +70,10 @@ ArGameSession::Report ArGameSession::run() const {
       if (event_loop > config_.rtt_budget)
         report.mis_registration_share += 1.0;
     }
-  }
+
+    if (++frames_done == config_.frames) frame_clock.cancel();
+  });
+  sim.run();
 
   report.frames = config_.frames;
   report.consistent_frame_share /= double(config_.frames);

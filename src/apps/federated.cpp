@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "netsim/simulator.hpp"
 #include "stats/distributions.hpp"
 
 namespace sixg::apps {
@@ -30,7 +31,12 @@ FederatedRoundModel::Report FederatedRoundModel::run() const {
   double network_seconds = 0.0;
   double total_seconds = 0.0;
   std::vector<double> client_done(config_.clients);
-  for (std::uint32_t round = 0; round < config_.rounds; ++round) {
+
+  // Synchronous FedAvg as a kernel event chain: each aggregation event
+  // computes its round and schedules the next one at the round's actual
+  // completion time, so the simulated clock tracks wall-progress of the
+  // training job. The per-round model (and its RNG order) is unchanged.
+  const auto one_round = [&]() -> double {
     for (std::uint32_t c = 0; c < config_.clients; ++c) {
       const double train_s = training.sample(rng);
       // Model dissemination + upload, each with a network one-way leg.
@@ -42,12 +48,32 @@ FederatedRoundModel::Report FederatedRoundModel::run() const {
     std::sort(client_done.begin(), client_done.end());
     const double slowest = client_done.back();
     const double median = client_done[client_done.size() / 2];
-    const double round_s =
-        slowest + config_.aggregation_compute.sec();
+    const double round_s = slowest + config_.aggregation_compute.sec();
     report.round_seconds.add(round_s);
     report.straggler_wait_seconds.add(slowest - median);
     total_seconds += round_s * double(config_.clients);
+    return round_s;
+  };
+
+  netsim::Simulator sim;
+  std::uint32_t round = 0;
+  struct Step {
+    netsim::Simulator* sim;
+    const decltype(one_round)* body;
+    std::uint32_t* round;
+    std::uint32_t rounds;
+    void operator()() const {
+      const double round_s = (*body)();
+      if (++*round < rounds)
+        sim->schedule_after(Duration::from_seconds_f(round_s), Step{*this});
+    }
+  };
+  if (config_.rounds > 0) {
+    sim.schedule_at(TimePoint{}, Step{&sim, &one_round, &round,
+                                      config_.rounds});
+    sim.run();
   }
+
   report.network_share =
       total_seconds > 0.0 ? network_seconds / total_seconds : 0.0;
   return report;

@@ -48,19 +48,9 @@ void print_usage(std::FILE* out) {
 
 void print_list(const ScenarioRegistry& registry, bool json) {
   if (json) {
-    // Reuse the scenario JSON renderer so the descriptor fields are
-    // escaped identically to --run output; an empty result contributes
-    // only the name/artefact/description header and an empty items list.
-    std::fputs("[", stdout);
-    bool first = true;
-    for (const Scenario* s : registry.list()) {
-      if (!first) std::fputs(",\n", stdout);
-      first = false;
-      std::fputs(
-          sixg::core::render_json(*s, sixg::core::ScenarioResult{}).c_str(),
-          stdout);
-    }
-    std::fputs("]\n", stdout);
+    // One JSON array of {"name","artefact","description"} descriptors,
+    // escaped with the same conventions as --run output.
+    std::fputs(sixg::core::render_list_json(registry).c_str(), stdout);
     return;
   }
   sixg::TextTable t{{"Name", "Artefact", "Description"}};

@@ -207,4 +207,23 @@ std::string render_json(const Scenario& scenario,
   return os.str();
 }
 
+std::string render_list_json(const ScenarioRegistry& registry) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const Scenario* s : registry.list()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":";
+    append_json_string(os, s->name);
+    os << ",\"artefact\":";
+    append_json_string(os, s->artefact);
+    os << ",\"description\":";
+    append_json_string(os, s->description);
+    os << '}';
+  }
+  os << "]\n";
+  return os.str();
+}
+
 }  // namespace sixg::core

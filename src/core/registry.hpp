@@ -128,4 +128,10 @@ class ScenarioRegistry {
 [[nodiscard]] std::string render_json(const Scenario& scenario,
                                       const ScenarioResult& result);
 
+/// Render the registry as a JSON array of scenario descriptors, in
+/// registration order: [{"name", "artefact", "description"}, ...].
+/// Same string-escaping conventions as render_json; no "items" key —
+/// this is the machine-readable twin of `sixg_run --list`.
+[[nodiscard]] std::string render_list_json(const ScenarioRegistry& registry);
+
 }  // namespace sixg::core

@@ -11,6 +11,7 @@
 #include "common/assert.hpp"
 #include "apps/protocols.hpp"
 #include "apps/traffic.hpp"
+#include "core/campaign.hpp"
 #include "core/gap.hpp"
 #include "core/requirements.hpp"
 #include "core/scenario.hpp"
@@ -1069,9 +1070,9 @@ ScenarioResult edge_inference_latency(const RunContext& ctx) {
   };
   constexpr std::size_t kRegimes = std::size(regimes);
 
-  const auto runner = ctx.runner();
-  const auto reports = runner.map<edgeai::ServingStudy::Report>(
-      kRegimes, [&](std::size_t i) {
+  const Campaign campaign{ctx, 0xed9e};
+  const auto reports = campaign.sweep<edgeai::ServingStudy::Report>(
+      kRegimes, [&](std::size_t i, std::uint64_t seed) {
         const Regime& regime = regimes[i];
         edgeai::ServingStudy::Config config;
         config.model = edgeai::ModelZoo::at("det-base");
@@ -1086,7 +1087,7 @@ ScenarioResult edge_inference_latency(const RunContext& ctx) {
                                        regime.world->net, *regime.path);
         config.downlink = downlink_sampler(*regime.radio_model, conditions,
                                            regime.world->net, *regime.path);
-        config.seed = ctx.seed_for(derive_seed(0xed9e, i));
+        config.seed = seed;
         return edgeai::ServingStudy::run(config);
       });
 
@@ -1162,9 +1163,9 @@ ScenarioResult batching_ablation(const RunContext& ctx) {
 
   // Pure serving (no network hop) isolates the batching trade-off:
   // window and batch cap against latency, energy and throughput.
-  const auto runner = ctx.runner();
-  const auto reports = runner.map<edgeai::ServingStudy::Report>(
-      cells.size(), [&](std::size_t i) {
+  const Campaign campaign{ctx, 0xba7c};
+  const auto reports = campaign.sweep<edgeai::ServingStudy::Report>(
+      cells.size(), [&](std::size_t i, std::uint64_t seed) {
         edgeai::ServingStudy::Config config;
         config.model = edgeai::ModelZoo::at("det-base");
         config.accelerator = edgeai::AcceleratorProfile::edge_gpu();
@@ -1173,7 +1174,7 @@ ScenarioResult batching_ablation(const RunContext& ctx) {
             Duration::from_millis_f(cells[i].window_ms);
         config.arrivals_per_second = 900.0;
         config.requests = 4000;
-        config.seed = ctx.seed_for(derive_seed(0xba7c, i));
+        config.seed = seed;
         return edgeai::ServingStudy::run(config);
       });
 

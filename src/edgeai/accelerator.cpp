@@ -86,25 +86,20 @@ void AcceleratorServer::maybe_dispatch() {
     launch_batch();
     return;
   }
-  if (window_armed_) return;
-  // First waiting request arms the window; the timer carries the epoch so
-  // a batch launched meanwhile (full batch, completion drain) makes the
-  // stale firing a no-op.
-  window_armed_ = true;
-  const std::uint64_t epoch = window_epoch_;
-  sim_.schedule_after(config_.batch_window, [this, epoch] {
-    if (epoch != window_epoch_) return;
-    window_armed_ = false;
-    ++window_epoch_;
+  if (window_timer_.active()) return;
+  // First waiting request arms the window as a cancellable one-shot on
+  // the kernel's timer wheel; a batch launched meanwhile (full batch,
+  // completion drain) disarms it in O(1) instead of leaving a stale
+  // no-op event behind.
+  window_timer_ = sim_.schedule_once(config_.batch_window, [this] {
     if (!busy_ && !queue_.empty()) launch_batch();
   });
 }
 
 void AcceleratorServer::launch_batch() {
   SIXG_ASSERT(!busy_ && !queue_.empty(), "launch needs an idle server");
-  // Any armed window is now stale.
-  window_armed_ = false;
-  ++window_epoch_;
+  // Any armed window is now moot.
+  window_timer_.cancel();
 
   const auto n = std::uint32_t(
       std::min<std::size_t>(queue_.size(), config_.max_batch));

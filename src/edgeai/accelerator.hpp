@@ -131,8 +131,8 @@ class AcceleratorServer {
 
   std::deque<Pending> queue_;
   bool busy_ = false;
-  bool window_armed_ = false;
-  std::uint64_t window_epoch_ = 0;  // stale window timers see a newer epoch
+  /// Armed batch window, if any; cancelled when a batch launches first.
+  netsim::Simulator::TimerHandle window_timer_;
 
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;

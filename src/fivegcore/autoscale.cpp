@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "netsim/simulator.hpp"
+
 namespace sixg::core5g {
 
 const char* to_string(ScalingPolicy p) {
@@ -42,7 +44,13 @@ UpfAutoscaleStudy::Outcome UpfAutoscaleStudy::run(ScalingPolicy policy,
   std::uint32_t surge_left = 0;
   double util_sum = 0.0;
 
-  for (std::uint32_t t = 0; t < params.horizon_steps; ++t) {
+  // The scaling control loop ticks once per simulated minute on the
+  // kernel's timer wheel (horizon_steps of them); the per-step model is
+  // unchanged, so outcomes match the former plain loop exactly.
+  netsim::Simulator sim;
+  std::uint32_t t = 0;
+  netsim::Simulator::TimerHandle tick;
+  tick = sim.schedule_every(Duration{}, Duration::seconds(60), [&] {
     if (surge_left == 0 && rng.chance(params.surge_probability))
       surge_left = params.surge_duration_steps;
     double sessions = diurnal_sessions(params, t) *
@@ -94,7 +102,10 @@ UpfAutoscaleStudy::Outcome UpfAutoscaleStudy::run(ScalingPolicy policy,
         break;
       }
     }
-  }
+
+    if (++t == params.horizon_steps) tick.cancel();
+  });
+  if (params.horizon_steps > 0) sim.run();
 
   out.mean_utilization = util_sum / double(params.horizon_steps);
   return out;

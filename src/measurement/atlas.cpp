@@ -50,40 +50,29 @@ std::vector<AtlasFleet::ProbeResult> AtlasFleet::run(Duration duration,
     SIXG_ASSERT(pings.back().reachable(), "target unreachable from probe");
   }
 
-  // Each schedule is a self-rescheduling task phase-locked to its start
-  // offset. run_until() discards firings beyond the horizon.
-  struct Task : std::enable_shared_from_this<Task> {
-    netsim::Simulator* sim = nullptr;
-    const PingMeasurement* ping = nullptr;
-    ProbeResult* result = nullptr;
-    Duration period;
-    double loss = 0.0;
-
-    void fire() {
-      ++result->scheduled;
-      if (loss > 0.0 && sim->rng().chance(loss)) {
-        ++result->lost;
-      } else {
-        result->rtt_ms.add(ping->sample_ms(sim->rng()));
-      }
-      sim->schedule_after(period,
-                          [self = shared_from_this()] { self->fire(); });
-    }
-  };
-
+  // Each schedule is one wheel-backed periodic timer phase-locked to its
+  // start offset; run_until() leaves firings at or beyond the horizon
+  // unfired. The kernel re-arms in place, so a campaign of any length
+  // allocates nothing per ping.
   for (std::size_t s = 0; s < schedules_.size(); ++s) {
     const Schedule& schedule = schedules_[s];
-    auto task = std::make_shared<Task>();
-    task->sim = &sim;
-    task->ping = &pings[s];
-    task->result = &results[schedule.probe.value()];
-    task->period = schedule.options.period;
-    task->loss = schedule.options.loss_rate;
+    const PingMeasurement* ping = &pings[s];
+    ProbeResult* result = &results[schedule.probe.value()];
+    const double loss = schedule.options.loss_rate;
     const Duration offset =
         schedule.options.spread_start
             ? schedule.options.period * sim.rng().uniform()
             : Duration{};
-    sim.schedule_after(offset, [task] { task->fire(); });
+    sim.schedule_every(offset, schedule.options.period,
+                       [sim_ptr = &sim, ping, result, loss] {
+                         ++result->scheduled;
+                         if (loss > 0.0 && sim_ptr->rng().chance(loss)) {
+                           ++result->lost;
+                         } else {
+                           result->rtt_ms.add(
+                               ping->sample_ms(sim_ptr->rng()));
+                         }
+                       });
   }
 
   sim.run_until(TimePoint{} + duration);

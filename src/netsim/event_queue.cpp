@@ -1,0 +1,151 @@
+#include "netsim/event_queue.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace sixg::netsim {
+
+namespace {
+constexpr std::uint64_t kNoDue = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+EventQueue::EventQueue() = default;
+
+void EventQueue::push(TimePoint when, std::uint64_t seq,
+                      InplaceAction action) {
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = std::uint32_t(slab_.size());
+    slab_.push_back(std::move(action));
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+    slab_[slot] = std::move(action);
+  }
+  const Key key{when.ns(), seq, slot};
+  const std::uint64_t tick = wheel::tick_of_ns(key.when_ns);
+  // Placement policy (pop order is unaffected): tiny queues take the
+  // plain heap path; once the heap is deep enough for sift cost to
+  // matter, future events park in the calendar for O(1).
+  if (keys_.size() >= kParkThreshold) {
+    if (calendar_ == nullptr) {
+      calendar_ = std::make_unique<Calendar>();
+      // Anchor the calendar at the heap's front: everything parked
+      // from here on is strictly later than that.
+      calendar_->tick = wheel::tick_of_ns(keys_.front().when_ns);
+      calendar_->next_due_tick = kNoDue;
+    }
+    if (tick > calendar_->tick) {
+      park(key, tick);
+      return;
+    }
+  }
+  heap_push(key);
+}
+
+ScheduledEvent EventQueue::pop() {
+  settle();
+  const Key top = keys_.front();
+  // The action slot is a dependent load from a large arena; issue it
+  // now so the line arrives while the sift below runs.
+  __builtin_prefetch(&slab_[top.slot]);
+  const Key last = keys_.back();
+  keys_.pop_back();
+  if (!keys_.empty()) sift_down(last);
+  free_.push_back(top.slot);
+  return ScheduledEvent{TimePoint::from_ns(top.when_ns), top.seq,
+                        std::move(slab_[top.slot])};
+}
+
+void EventQueue::sift_up(std::size_t hole) {
+  const Key item = keys_[hole];
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!before(item, keys_[parent])) break;
+    keys_[hole] = keys_[parent];
+    hole = parent;
+  }
+  keys_[hole] = item;
+}
+
+void EventQueue::sift_down(const Key item) {
+  const std::size_t n = keys_.size();
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = hole * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(keys_[c], keys_[best])) best = c;
+    }
+    if (!before(keys_[best], item)) break;
+    keys_[hole] = keys_[best];
+    hole = best;
+  }
+  keys_[hole] = item;
+}
+
+void EventQueue::park(const Key& key, std::uint64_t tick) {
+  Calendar& cal = *calendar_;
+  const int level = wheel::level_for(tick, cal.tick);
+  const std::uint32_t slot = wheel::slot_for(tick, level);
+  cal.buckets[std::size_t(level)][slot].push_back(key);
+  cal.occupancy[std::size_t(level)] |= std::uint64_t{1} << slot;
+  ++cal.count;
+  // The key's own deadline bounds how soon anything parked can matter;
+  // pops compare the heap front against this before any bitmap scan.
+  if (tick < cal.next_due_tick) cal.next_due_tick = tick;
+}
+
+void EventQueue::settle_slow() {
+  Calendar& cal = *calendar_;
+  while (cal.count != 0) {
+    std::uint64_t tick;
+    int level;
+    std::uint32_t slot;
+    const bool any =
+        wheel::earliest_bucket(cal.occupancy, cal.tick, &tick, &level, &slot);
+    SIXG_ASSERT(any, "calendar count and occupancy disagree");
+    // The bucket's start lower-bounds every key in it; when the heap
+    // front strictly precedes that, nothing parked can pop next.
+    if (!keys_.empty() &&
+        keys_.front().when_ns < wheel::tick_to_ns_saturating(tick)) {
+      cal.next_due_tick = tick;  // valid lower bound for the fast path
+      return;
+    }
+
+    cal.tick = tick;
+    auto& bucket = cal.buckets[std::size_t(level)][slot];
+    cal.occupancy[std::size_t(level)] &= ~(std::uint64_t{1} << slot);
+    cal.count -= bucket.size();
+    // Detach the bucket before processing: a key clamped to the top
+    // level from beyond its rotation span cascades back into the very
+    // slot being drained, which must land in a fresh vector, not the
+    // one we are iterating. The swap recycles capacities between the
+    // bucket and the scratch buffer.
+    scratch_.clear();
+    scratch_.swap(bucket);
+    // A level-0 slot holds exactly one tick of this rotation — all due.
+    // Sparse coarser buckets drain straight into the heap too: placement
+    // is pure policy, and a shallow heap beats per-tick turn-over.
+    const bool direct = level == 0 || scratch_.size() <= kDirectDrain;
+    for (const Key& key : scratch_) {
+      if (direct) {
+        heap_push(key);
+      } else {
+        // Cascade to a finer level (or the heap, if due this tick).
+        const std::uint64_t key_tick = wheel::tick_of_ns(key.when_ns);
+        if (key_tick <= cal.tick) {
+          heap_push(key);
+        } else {
+          park(key, key_tick);  // re-counts the key in cal.count
+        }
+      }
+    }
+  }
+  cal.next_due_tick = kNoDue;
+}
+
+}  // namespace sixg::netsim

@@ -1,0 +1,148 @@
+/// @file event_queue.hpp — the kernel's pending-event store: a shallow
+/// 4-ary min-heap for the near-term window, a hierarchical calendar of
+/// flat key buckets for everything farther out, and one action arena
+/// the sorting machinery never touches.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "netsim/inplace_action.hpp"
+#include "netsim/wheel_math.hpp"
+
+namespace sixg::netsim {
+
+/// One scheduled event as handed back by pop(). `seq` is the
+/// kernel-wide schedule counter: it breaks equal-time ties in
+/// scheduling order, which is what makes replications bit-for-bit
+/// deterministic.
+struct ScheduledEvent {
+  TimePoint when;
+  std::uint64_t seq = 0;
+  InplaceAction action;
+};
+
+/// Pending-event store with O(1)-ish scheduling at any queue depth.
+///
+/// Three structure-of-arrays pieces:
+///  * `slab_`    — the InplaceAction payloads, addressed by slot and
+///    recycled through a free list. An action is touched exactly twice
+///    (construct on push, move-out on pop) no matter how long it waits
+///    or how often the sorting layers shuffle its key.
+///  * `keys_`    — a 4-ary implicit min-heap of trivially-copyable
+///    24-byte {when, seq, slot} keys: the near-term window only.
+///  * calendar   — hierarchical buckets (64-slot wheels, ~1 µs base
+///    resolution) of the same 24-byte keys in flat vectors. Events far
+///    in the future park here with one vector append instead of an
+///    O(log n) sift, and cascade toward the heap as their time
+///    approaches — so the heap stays shallow even with a million
+///    events pending.
+///
+/// Where an event parks is pure placement policy; pop order is the
+/// exact strict-total (when, seq) order either way, because the
+/// calendar drains a bucket into the heap strictly before any event at
+/// or after the bucket's start time can pop (a bucket's start time
+/// lower-bounds every key in it). seq is unique, so determinism does
+/// not depend on sift or bucket tie-breaking.
+///
+/// Why 4-ary for the near heap: half the levels of a binary heap per
+/// pop, and the four children sit in one or two cache lines of the
+/// flat key array, so the extra comparisons per level are nearly free.
+class EventQueue {
+ public:
+  EventQueue();
+
+  [[nodiscard]] bool empty() const {
+    return keys_.empty() && parked_count() == 0;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return keys_.size() + parked_count();
+  }
+  /// Earliest pending (when, seq); callable only when non-empty.
+  [[nodiscard]] TimePoint top_when() {
+    settle();
+    return TimePoint::from_ns(keys_.front().when_ns);
+  }
+  [[nodiscard]] std::uint64_t top_seq() {
+    settle();
+    return keys_.front().seq;
+  }
+
+  void push(TimePoint when, std::uint64_t seq, InplaceAction action);
+
+  /// Remove and return the earliest event.
+  ScheduledEvent pop();
+
+ private:
+  struct Key {
+    std::int64_t when_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  static constexpr std::size_t kArity = 4;
+
+  // Calendar geometry is shared with the timer wheel's:
+  // netsim/wheel_math.hpp (64-slot levels, ~1 µs base resolution).
+  static constexpr int kLevels = wheel::kLevels;
+  static constexpr std::uint32_t kSlots = wheel::kSlots;
+  /// Events beyond the heap's comfort zone park in the calendar once
+  /// the heap holds at least this many keys; below it, plain heap
+  /// pushes are cheaper than the bucket machinery.
+  static constexpr std::size_t kParkThreshold = 64;
+  /// A coarse bucket this sparse drains straight into the heap: with so
+  /// few keys the heap stays shallow, and per-tick level-0 turn-over
+  /// bookkeeping would cost more than the sifts it saves.
+  static constexpr std::size_t kDirectDrain = 256;
+
+  static bool before(const Key& a, const Key& b) {
+    return a.when_ns != b.when_ns ? a.when_ns < b.when_ns : a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t hole);
+  void sift_down(Key item);
+  void heap_push(const Key& key) {
+    keys_.push_back(key);
+    sift_up(keys_.size() - 1);
+  }
+
+  /// The bucket hierarchy, allocated on first park: small simulations
+  /// whose queues never exceed kParkThreshold pay nothing for it.
+  struct Calendar {
+    std::size_t count = 0;        ///< keys parked in buckets
+    std::uint64_t tick = 0;       ///< calendar time, lags pops
+    /// Lower bound (in ticks) on the earliest parked key's bucket
+    /// turn-over; lets pops skip the bitmap scan with one compare.
+    std::uint64_t next_due_tick = 0;
+    std::array<std::uint64_t, kLevels> occupancy{};
+    std::array<std::array<std::vector<Key>, kSlots>, kLevels> buckets;
+  };
+
+  [[nodiscard]] std::size_t parked_count() const {
+    return calendar_ ? calendar_->count : 0;
+  }
+  void park(const Key& key, std::uint64_t tick);
+  /// Drain calendar buckets into the heap until the heap's front can
+  /// no longer be preceded by anything parked.
+  void settle() {
+    if (calendar_ == nullptr || calendar_->count == 0) return;
+    if (!keys_.empty() && wheel::tick_of_ns(keys_.front().when_ns) <
+                              calendar_->next_due_tick) {
+      return;  // heap front precedes every parked bucket's turn-over
+    }
+    settle_slow();
+  }
+  void settle_slow();
+
+  std::vector<Key> keys_;                 ///< near-term 4-ary heap
+  std::vector<InplaceAction> slab_;       ///< action payloads, by slot
+  std::vector<std::uint32_t> free_;       ///< recycled slab slots
+  std::unique_ptr<Calendar> calendar_;    ///< far-future key buckets
+  std::vector<Key> scratch_;              ///< detached bucket during drain
+};
+
+}  // namespace sixg::netsim

@@ -1,5 +1,6 @@
 #include "netsim/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -11,20 +12,30 @@ ParallelRunner::ParallelRunner(unsigned threads)
 
 void ParallelRunner::run(std::size_t job_count,
                          const std::function<void(std::size_t)>& job) const {
+  run_chunked(job_count, 1, job);
+}
+
+void ParallelRunner::run_chunked(
+    std::size_t job_count, std::size_t chunk,
+    const std::function<void(std::size_t)>& job) const {
   if (job_count == 0) return;
-  if (threads_ == 1 || job_count == 1) {
+  if (chunk == 0) chunk = 1;
+  if (threads_ == 1 || job_count <= chunk) {
     for (std::size_t i = 0; i < job_count; ++i) job(i);
     return;
   }
   std::atomic<std::size_t> cursor{0};
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= job_count) return;
-      job(i);
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= job_count) return;
+      const std::size_t end = std::min(begin + chunk, job_count);
+      for (std::size_t i = begin; i < end; ++i) job(i);
     }
   };
-  const unsigned n = unsigned(std::min<std::size_t>(threads_, job_count));
+  const std::size_t chunk_count = (job_count + chunk - 1) / chunk;
+  const unsigned n = unsigned(std::min<std::size_t>(threads_, chunk_count));
   std::vector<std::thread> pool;
   pool.reserve(n - 1);
   for (unsigned t = 0; t + 1 < n; ++t) pool.emplace_back(worker);

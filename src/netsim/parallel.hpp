@@ -28,6 +28,14 @@ class ParallelRunner {
   void run(std::size_t job_count,
            const std::function<void(std::size_t)>& job) const;
 
+  /// Like run(), but workers claim `chunk` consecutive indices per
+  /// cursor bump: one atomic RMW per chunk instead of per job, and
+  /// consecutive indices (which usually share warm state) stay on one
+  /// worker. `chunk` == 0 or 1 degenerates to run(). The campaign
+  /// engine sizes chunks so each worker gets several turns.
+  void run_chunked(std::size_t job_count, std::size_t chunk,
+                   const std::function<void(std::size_t)>& job) const;
+
   /// Map i -> R over [0, job_count) in parallel; results land at their own
   /// index so output order is deterministic regardless of scheduling.
   template <typename R>

@@ -1,6 +1,5 @@
 #include "netsim/simulator.hpp"
 
-#include <memory>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -11,7 +10,7 @@ Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 void Simulator::schedule_at(TimePoint at, Action action) {
   SIXG_ASSERT(at >= now_, "cannot schedule into the past");
-  queue_.push(Event{at, next_seq_++, std::move(action)});
+  queue_.push(at, next_seq_++, std::move(action));
 }
 
 void Simulator::schedule_after(Duration delay, Action action) {
@@ -19,43 +18,145 @@ void Simulator::schedule_after(Duration delay, Action action) {
   schedule_at(now_ + delay, std::move(action));
 }
 
-namespace {
-/// Self-rescheduling closure for periodic events; keeps itself alive via
-/// shared_from_this while armed and stops re-arming once cancelled.
-struct Trampoline : std::enable_shared_from_this<Trampoline> {
-  Simulator* sim = nullptr;
-  std::shared_ptr<bool> alive;
-  Simulator::Action action;
-  Duration period;
+// ------------------------------------------------------------- timers
 
-  void fire() {
-    if (!*alive) return;
-    action();
-    if (!*alive || sim->stopped()) return;
-    sim->schedule_after(period, [self = shared_from_this()] { self->fire(); });
-  }
-};
-}  // namespace
+Simulator::TimerHandle Simulator::arm_timer(Duration first_delay,
+                                            Duration period, TimePoint until,
+                                            bool has_until, Action action) {
+  SIXG_ASSERT(!first_delay.is_negative(), "delay must be non-negative");
+  const TimePoint first = now_ + first_delay;
+  if (has_until && first >= until) return TimerHandle{};  // nothing fits
 
-Simulator::PeriodicHandle Simulator::schedule_periodic(Duration period,
+  const std::uint32_t idx = wheel_.allocate();
+  TimerWheel::Timer& t = wheel_.timer(idx);
+  t.deadline = first;
+  t.seq = next_seq_++;  // same counter as one-shots: global FIFO order
+  t.period = period;
+  t.until = until;
+  t.has_until = has_until;
+  t.armed = true;
+  t.cancel_requested = false;
+  t.action = std::move(action);
+  const std::uint32_t generation = t.generation;
+  if (wheel_.schedule(idx)) stage_timer(idx);
+  return TimerHandle{this, idx, generation};
+}
+
+Simulator::TimerHandle Simulator::schedule_periodic(Duration period,
+                                                    Action action) {
+  SIXG_ASSERT(period > Duration{}, "period must be positive");
+  return arm_timer(period, period, TimePoint{}, false, std::move(action));
+}
+
+Simulator::TimerHandle Simulator::schedule_every(Duration first_delay,
+                                                 Duration period,
+                                                 Action action) {
+  SIXG_ASSERT(period > Duration{}, "period must be positive");
+  return arm_timer(first_delay, period, TimePoint{}, false,
+                   std::move(action));
+}
+
+Simulator::TimerHandle Simulator::schedule_every_until(Duration period,
+                                                       TimePoint until,
                                                        Action action) {
   SIXG_ASSERT(period > Duration{}, "period must be positive");
-  auto alive = std::make_shared<bool>(true);
-  auto tramp = std::make_shared<Trampoline>();
-  tramp->sim = this;
-  tramp->alive = alive;
-  tramp->action = std::move(action);
-  tramp->period = period;
-  schedule_after(period, [tramp] { tramp->fire(); });
-  return PeriodicHandle{alive};
+  return arm_timer(period, period, until, true, std::move(action));
+}
+
+Simulator::TimerHandle Simulator::schedule_once(Duration delay,
+                                                Action action) {
+  return arm_timer(delay, Duration{}, TimePoint{}, false, std::move(action));
+}
+
+void Simulator::stage_timer(std::uint32_t idx) {
+  const TimerWheel::Timer& t = wheel_.timer(idx);
+  // The queue event is a 16-byte stub (well within the inline buffer);
+  // the action itself stays in the timer slab and is re-used across
+  // firings — this is where the allocation-per-tick of the old
+  // trampoline went away.
+  queue_.push(t.deadline, t.seq,
+              [this, idx, generation = t.generation] {
+                fire_timer(idx, generation);
+              });
+}
+
+void Simulator::fire_timer(std::uint32_t idx, std::uint32_t generation) {
+  {
+    const TimerWheel::Timer& t = wheel_.timer(idx);
+    if (t.generation != generation) return;  // cancelled and recycled
+    SIXG_ASSERT(t.armed && t.state == TimerWheel::State::kStaged,
+                "staged firing found its timer in an impossible state");
+  }
+  // Move the action out for the call: the action may itself arm new
+  // timers and grow the slab, which would relocate the closure we are
+  // executing if it still lived there.
+  TimerWheel::Timer& t = wheel_.timer(idx);
+  t.state = TimerWheel::State::kFiring;
+  InplaceAction action = std::move(t.action);
+  action();
+
+  TimerWheel::Timer& after = wheel_.timer(idx);  // slab may have moved
+  if (after.cancel_requested || stopped_ || after.period.is_zero()) {
+    wheel_.release(idx);
+    return;
+  }
+  const TimePoint next = after.deadline + after.period;
+  if (after.has_until && next >= after.until) {
+    wheel_.release(idx);
+    return;
+  }
+  after.deadline = next;
+  after.seq = next_seq_++;  // fresh FIFO position, as re-scheduling had
+  after.action = std::move(action);
+  if (wheel_.schedule(idx)) stage_timer(idx);
+}
+
+void Simulator::cancel_timer(std::uint32_t idx, std::uint32_t generation) {
+  TimerWheel::Timer& t = wheel_.timer(idx);
+  if (t.generation != generation || !t.armed) return;
+  switch (t.state) {
+    case TimerWheel::State::kInBucket:
+      wheel_.cancel_in_bucket(idx);  // lazy: reclaimed at bucket turn-over
+      break;
+    case TimerWheel::State::kStaged:
+      // The queued firing dies on its generation check.
+      wheel_.release(idx);
+      break;
+    case TimerWheel::State::kFiring:
+      t.cancel_requested = true;  // fire_timer releases after the action
+      break;
+    case TimerWheel::State::kFree:
+      SIXG_ASSERT(false, "armed timer on the free list");
+      break;
+  }
+}
+
+bool Simulator::timer_active(std::uint32_t idx,
+                             std::uint32_t generation) const {
+  const TimerWheel::Timer& t = wheel_.timer(idx);
+  return t.generation == generation && t.armed && !t.cancel_requested;
+}
+
+// ---------------------------------------------------------------- run
+
+void Simulator::advance_wheel(bool limited, TimePoint horizon) {
+  while (wheel_.has_bucketed()) {
+    const TimePoint due = wheel_.next_due();
+    if (limited && due >= horizon) break;
+    if (!queue_.empty() && queue_.top_when() < due) break;
+    wheel_.expire_earliest(
+        [](void* ctx, std::uint32_t idx) {
+          static_cast<Simulator*>(ctx)->stage_timer(idx);
+        },
+        this);
+  }
 }
 
 void Simulator::run() {
-  while (!queue_.empty() && !stopped_) {
-    // top() is const&, but Event has no const members and we pop right
-    // after moving, so the move cannot corrupt heap ordering.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!stopped_) {
+    advance_wheel(false, TimePoint{});
+    if (queue_.empty()) break;
+    ScheduledEvent ev = queue_.pop();
     SIXG_ASSERT(ev.when >= now_, "event queue ordering violated");
     now_ = ev.when;
     ++processed_;
@@ -64,10 +165,11 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(TimePoint horizon) {
-  while (!queue_.empty() && !stopped_) {
-    if (queue_.top().when > horizon) break;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!stopped_) {
+    advance_wheel(true, horizon);
+    if (queue_.empty() || queue_.top_when() >= horizon) break;
+    ScheduledEvent ev = queue_.pop();
+    SIXG_ASSERT(ev.when >= now_, "event queue ordering violated");
     now_ = ev.when;
     ++processed_;
     ev.action();

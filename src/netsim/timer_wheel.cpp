@@ -1,0 +1,122 @@
+#include "netsim/timer_wheel.hpp"
+
+#include "common/assert.hpp"
+#include "netsim/wheel_math.hpp"
+
+namespace sixg::netsim {
+
+TimerWheel::TimerWheel() {
+  for (auto& level : heads_) level.fill(kNil);
+}
+
+std::uint32_t TimerWheel::allocate() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  slab_.emplace_back();
+  return std::uint32_t(slab_.size() - 1);
+}
+
+void TimerWheel::release(std::uint32_t idx) {
+  Timer& t = slab_[idx];
+  SIXG_ASSERT(t.state != State::kInBucket,
+              "cannot release a timer still chained into a bucket");
+  t.state = State::kFree;
+  t.armed = false;
+  t.cancel_requested = false;
+  t.next = kNil;
+  t.action.reset();
+  ++t.generation;  // stale handles and staged firings now miss
+  free_.push_back(idx);
+}
+
+void TimerWheel::bucket_insert(std::uint32_t idx, std::uint64_t tick) {
+  Timer& t = slab_[idx];
+  const int level = wheel::level_for(tick, now_tick_);
+  const std::uint32_t slot = wheel::slot_for(tick, level);
+  t.next = heads_[std::size_t(level)][slot];
+  heads_[std::size_t(level)][slot] = idx;
+  occupancy_[std::size_t(level)] |= std::uint64_t{1} << slot;
+  t.state = State::kInBucket;
+  ++bucketed_;
+  if (t.armed) ++armed_bucketed_;
+}
+
+bool TimerWheel::schedule(std::uint32_t idx) {
+  Timer& t = slab_[idx];
+  SIXG_ASSERT(t.armed, "scheduling a disarmed timer");
+  const std::uint64_t tick = wheel::tick_of(t.deadline);
+  if (tick <= now_tick_) {
+    t.state = State::kStaged;
+    return true;  // due this very tick: caller stages it directly
+  }
+  bucket_insert(idx, tick);
+  return false;
+}
+
+void TimerWheel::cancel_in_bucket(std::uint32_t idx) {
+  Timer& t = slab_[idx];
+  SIXG_ASSERT(t.state == State::kInBucket, "timer not in a bucket");
+  if (t.armed) {
+    t.armed = false;
+    --armed_bucketed_;
+  }
+}
+
+TimePoint TimerWheel::next_due() const {
+  std::uint64_t tick;
+  int level;
+  std::uint32_t slot;
+  const bool any =
+      wheel::earliest_bucket(occupancy_, now_tick_, &tick, &level, &slot);
+  SIXG_ASSERT(any, "next_due on an empty wheel");
+  return TimePoint::from_ns(wheel::tick_to_ns_saturating(tick));
+}
+
+void TimerWheel::expire_earliest(void (*stage)(void* ctx, std::uint32_t idx),
+                                 void* ctx) {
+  std::uint64_t tick;
+  int level;
+  std::uint32_t slot;
+  const bool any =
+      wheel::earliest_bucket(occupancy_, now_tick_, &tick, &level, &slot);
+  SIXG_ASSERT(any, "expire_earliest on an empty wheel");
+
+  // Advance wheel time to the bucket's turn-over point, then detach the
+  // whole chain before processing: re-bucketed timers must land in
+  // fresh chains, not be re-walked.
+  now_tick_ = tick;
+  auto& head = heads_[std::size_t(level)][slot];
+  std::uint32_t idx = head;
+  head = kNil;
+  occupancy_[std::size_t(level)] &= ~(std::uint64_t{1} << slot);
+
+  while (idx != kNil) {
+    Timer& t = slab_[idx];
+    const std::uint32_t next = t.next;
+    t.next = kNil;
+    --bucketed_;
+    if (!t.armed) {
+      // Lazily cancelled while waiting: reclaim now.
+      t.state = State::kStaged;  // satisfy release()'s bucket check
+      release(idx);
+    } else {
+      --armed_bucketed_;
+      if (wheel::tick_of(t.deadline) <= now_tick_) {
+        // Due: hand the firing to the kernel's event queue, which
+        // orders it by the exact (deadline, seq) key.
+        t.state = State::kStaged;
+        stage(ctx, idx);
+      } else {
+        // Not yet due (coarse bucket): cascade to a finer level.
+        // (bucket_insert restores the armed_bucketed_ count.)
+        bucket_insert(idx, wheel::tick_of(t.deadline));
+      }
+    }
+    idx = next;
+  }
+}
+
+}  // namespace sixg::netsim

@@ -1,0 +1,104 @@
+/// @file wheel_math.hpp — the shared geometry and bit machinery of the
+/// kernel's two hierarchical calendars (the timer wheel and the event
+/// queue's far-event buckets). One copy of the subtle rotation math, so
+/// the two structures cannot drift apart.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "common/time.hpp"
+
+namespace sixg::netsim::wheel {
+
+// Geometry: 64-slot levels; level L spans 2^(kShiftNs + kSlotBits·L) ns
+// per slot — ~1 µs resolution at level 0, ~52 days across all levels
+// before far-future entries clamp to the top level and cascade once per
+// top-level rotation.
+inline constexpr int kShiftNs = 10;  ///< 1 tick = 1024 ns
+inline constexpr int kSlotBits = 6;
+inline constexpr int kLevels = 7;
+inline constexpr std::uint32_t kSlots = 1u << kSlotBits;
+
+[[nodiscard]] inline std::uint64_t tick_of_ns(std::int64_t ns) {
+  return std::uint64_t(ns) >> kShiftNs;
+}
+[[nodiscard]] inline std::uint64_t tick_of(TimePoint t) {
+  return tick_of_ns(t.ns());
+}
+
+/// Bucket start of `tick` at `level`, in ns, saturating at int64 max
+/// (far top-level rotations would otherwise overflow the shift).
+[[nodiscard]] inline std::int64_t tick_to_ns_saturating(std::uint64_t tick) {
+  constexpr std::uint64_t kMaxNs =
+      std::uint64_t(std::numeric_limits<std::int64_t>::max());
+  return std::int64_t(tick >= (kMaxNs >> kShiftNs) ? kMaxNs
+                                                   : tick << kShiftNs);
+}
+
+/// Level an entry with deadline tick `tick` buckets at, relative to the
+/// structure's current tick: the highest differing bit picks the level
+/// (coarser wheels for farther deadlines); beyond the top level's span
+/// it clamps there and cascades later.
+[[nodiscard]] inline int level_for(std::uint64_t tick,
+                                   std::uint64_t now_tick) {
+  const std::uint64_t diff = tick ^ now_tick;
+  const int level = diff == 0 ? 0 : (63 - std::countl_zero(diff)) / kSlotBits;
+  return level >= kLevels ? kLevels - 1 : level;
+}
+
+/// Slot index of `tick` at `level`.
+[[nodiscard]] inline std::uint32_t slot_for(std::uint64_t tick, int level) {
+  return std::uint32_t(tick >> (kSlotBits * level)) & (kSlots - 1);
+}
+
+/// Next occurrence (in level-L slot counts) of slot `s` at or after the
+/// current level-L position `cur`, as an absolute level-L tick. Slots at
+/// or before the current position belong to the next rotation: only
+/// entries clamped to the top level from beyond its span land there, and
+/// their turn-over is a (harmless, early) cascade.
+[[nodiscard]] inline std::uint64_t next_occurrence(std::uint64_t cur,
+                                                   std::uint32_t cs,
+                                                   std::uint32_t s) {
+  if (s > cs) return (cur & ~std::uint64_t{kSlots - 1}) | s;
+  return (((cur >> kSlotBits) + 1) << kSlotBits) | s;
+}
+
+/// The earliest-turning occupied bucket across all levels of an
+/// occupancy bitmap array, as seen from `now_tick`. Returns false when
+/// every level is empty; otherwise fills the bucket's absolute tick
+/// (which lower-bounds every deadline inside it), level and slot.
+template <typename OccupancyArray>
+[[nodiscard]] inline bool earliest_bucket(const OccupancyArray& occupancy,
+                                          std::uint64_t now_tick,
+                                          std::uint64_t* tick, int* level,
+                                          std::uint32_t* slot) {
+  std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+  int best_level = -1;
+  std::uint32_t best_slot = 0;
+  for (int l = 0; l < kLevels; ++l) {
+    const std::uint64_t occ = occupancy[std::size_t(l)];
+    if (occ == 0) continue;
+    const std::uint64_t cur = now_tick >> (kSlotBits * l);
+    const auto cs = std::uint32_t(cur) & (kSlots - 1);
+    // Prefer slots strictly after the current position (this rotation);
+    // otherwise the earliest occupied slot of the next rotation.
+    const std::uint64_t after =
+        cs + 1 >= kSlots ? 0 : occ & (~std::uint64_t{0} << (cs + 1));
+    const auto s = std::uint32_t(std::countr_zero(after != 0 ? after : occ));
+    const std::uint64_t t = next_occurrence(cur, cs, s) << (kSlotBits * l);
+    if (t < best_tick) {
+      best_tick = t;
+      best_level = l;
+      best_slot = s;
+    }
+  }
+  if (best_level < 0) return false;
+  *tick = best_tick;
+  *level = best_level;
+  *slot = best_slot;
+  return true;
+}
+
+}  // namespace sixg::netsim::wheel

@@ -32,10 +32,12 @@ TEST_F(AtlasFixture, PeriodicScheduleProducesExpectedSampleCount) {
   fleet.schedule_ping(probe, world_->university_probe, options);
   const auto results = fleet.run(Duration::seconds(3600), 1);
   ASSERT_EQ(results.size(), 1u);
-  // First firing at t=0, then every 60 s up to and including t=3600.
-  EXPECT_EQ(results[0].scheduled, 61u);
+  // First firing at t=0, then every 60 s. The horizon is half-open:
+  // the firing at exactly t=3600 is NOT run (kernel run_until contract),
+  // so one hour holds 60 pings.
+  EXPECT_EQ(results[0].scheduled, 60u);
   EXPECT_EQ(results[0].lost, 0u);
-  EXPECT_EQ(results[0].rtt_ms.count(), 61u);
+  EXPECT_EQ(results[0].rtt_ms.count(), 60u);
 }
 
 TEST_F(AtlasFixture, SpreadStartStaggersWithinOnePeriod) {
@@ -60,7 +62,7 @@ TEST_F(AtlasFixture, LossRateDropsSamplesButCountsSchedules) {
   options.loss_rate = 0.5;
   fleet.schedule_ping(probe, world_->university_probe, options);
   const auto results = fleet.run(Duration::seconds(4000), 3);
-  EXPECT_EQ(results[0].scheduled, 4001u);
+  EXPECT_EQ(results[0].scheduled, 4000u);  // t=0..3999; t=4000 is discarded
   EXPECT_NEAR(double(results[0].lost) / double(results[0].scheduled), 0.5,
               0.05);
   EXPECT_EQ(results[0].rtt_ms.count() + results[0].lost,
@@ -93,7 +95,7 @@ TEST_F(AtlasFixture, MultipleSchedulesPerProbeAccumulate) {
   fleet.schedule_ping(probe, world_->university_probe, options);
   fleet.schedule_ping(probe, world_->cloud_vienna, options);
   const auto results = fleet.run(Duration::seconds(1000), 5);
-  EXPECT_EQ(results[0].scheduled, 22u);  // 11 per schedule
+  EXPECT_EQ(results[0].scheduled, 20u);  // 10 per schedule (t=0..900)
 }
 
 TEST_F(AtlasFixture, DeterministicPerSeed) {

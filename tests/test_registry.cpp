@@ -376,6 +376,66 @@ TEST(ScenarioRenderJson, RoundTripsThroughAParser) {
   EXPECT_DOUBLE_EQ(items[3].object().at("measured").number(), 65.0);
 }
 
+TEST(ScenarioRenderJson, ControlCharactersRoundTripThroughNotes) {
+  // Notes with embedded newlines, tabs and sub-0x20 control bytes must
+  // escape to valid JSON and parse back to the exact original bytes.
+  Scenario s = make_scenario("control-chars");
+  ScenarioResult result;
+  const std::string gnarly =
+      "line one\nline two\twith tab\rcarriage\x01\x1f bell:\x07 done";
+  result.add_note(gnarly);
+  result.add_note("plain trailing newline\n");
+  TextTable t{{"col\nwith newline"}};
+  t.add_row({"cell\twith tab"});
+  result.add_table(std::move(t), "title\nsplit");
+
+  const std::string json = render_json(s, result);
+  // Raw control bytes must never appear unescaped in the JSON text.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+
+  const JsonValue root = JsonParser{json}.parse();
+  const auto& items = root.object().at("items").array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].object().at("text").str(), gnarly);
+  EXPECT_EQ(items[1].object().at("text").str(), "plain trailing newline\n");
+  const auto& table = items[2].object();
+  EXPECT_EQ(table.at("title").str(), "title\nsplit");
+  EXPECT_EQ(table.at("header").array()[0].str(), "col\nwith newline");
+  EXPECT_EQ(table.at("rows").array()[0].array()[0].str(), "cell\twith tab");
+}
+
+TEST(RenderListJson, MachineReadableListingParsesAndMatchesRegistry) {
+  ScenarioRegistry registry;
+  register_paper_scenarios(registry);
+  const std::string json = render_list_json(registry);
+
+  const JsonValue root = JsonParser{json}.parse();
+  const auto& entries = root.array();
+  const auto scenarios = registry.list();
+  ASSERT_EQ(entries.size(), scenarios.size());
+  ASSERT_GE(entries.size(), 20u);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& obj = entries[i].object();
+    EXPECT_EQ(obj.at("name").str(), scenarios[i]->name);
+    EXPECT_EQ(obj.at("artefact").str(), scenarios[i]->artefact);
+    EXPECT_EQ(obj.at("description").str(), scenarios[i]->description);
+    // Descriptors only — no items payload in a listing.
+    EXPECT_EQ(obj.count("items"), 0u);
+  }
+}
+
+TEST(RenderListJson, EscapesDescriptorFields) {
+  ScenarioRegistry registry;
+  Scenario s = make_scenario("quoted");
+  s.description = "says \"hi\"\nand more\t.";
+  ASSERT_TRUE(registry.add(s));
+  const JsonValue root = JsonParser{render_list_json(registry)}.parse();
+  EXPECT_EQ(root.array()[0].object().at("description").str(),
+            s.description);
+}
+
 TEST(ScenarioRenderJson, BuiltInScenarioOutputParses) {
   ScenarioRegistry registry;
   register_paper_scenarios(registry);
