@@ -416,11 +416,14 @@ ScenarioResult latency_decomposition(const RunContext& ctx) {
 
   Rng rng{ctx.seed_for(23)};
   stats::Summary queueing_ms;
+  // Compiled once; the 4000-round loop draws per-hop queueing (forward
+  // and reverse per link, in the original order) without link lookups.
+  const topo::CompiledPath compiled = net.compile(path);
   for (int s = 0; s < 4000; ++s) {
     Duration q;
-    for (const auto link : path.links) {
-      q += net.sample_queueing(link, rng);
-      q += net.sample_queueing(link, rng);
+    for (std::size_t h = 0; h < compiled.hop_count(); ++h) {
+      q += compiled.sample_hop_queueing(h, rng);
+      q += compiled.sample_hop_queueing(h, rng);
     }
     queueing_ms.add(q.ms());
   }
@@ -991,24 +994,24 @@ ScenarioResult atlas_design(const RunContext& ctx) {
 // ------------------------------------------------- edge AI inference
 
 /// One-way network delay sampler request-path style: radio uplink into
-/// the access network, then the wired path to the serving site.
+/// the access network, then the wired path to the serving site. The
+/// wired leg is a compiled path, so the per-request draw inside the
+/// serving loop does no Network lookups.
 edgeai::ServingStudy::DelaySampler uplink_sampler(
     const radio::RadioLinkModel& radio_model,
-    const radio::CellConditions& conditions, const topo::Network& net,
-    const topo::Path& path) {
-  return [&radio_model, conditions, &net, path](Rng& rng) {
+    const radio::CellConditions& conditions, topo::CompiledPath path) {
+  return [&radio_model, conditions, path = std::move(path)](Rng& rng) {
     return radio_model.sample_uplink(conditions, rng) +
-           net.sample_one_way(path, rng);
+           path.sample_one_way(rng);
   };
 }
 
 /// Response path: wired path back, then the radio downlink to the UE.
 edgeai::ServingStudy::DelaySampler downlink_sampler(
     const radio::RadioLinkModel& radio_model,
-    const radio::CellConditions& conditions, const topo::Network& net,
-    const topo::Path& path) {
-  return [&radio_model, conditions, &net, path](Rng& rng) {
-    return net.sample_one_way(path, rng) +
+    const radio::CellConditions& conditions, topo::CompiledPath path) {
+  return [&radio_model, conditions, path = std::move(path)](Rng& rng) {
+    return path.sample_one_way(rng) +
            radio_model.sample_downlink(conditions, rng);
   };
 }
@@ -1083,10 +1086,12 @@ ScenarioResult edge_inference_latency(const RunContext& ctx) {
         config.requests = 3000;
         config.energy.uplink = regime.uplink;
         config.energy.downlink = regime.downlink;
-        config.uplink = uplink_sampler(*regime.radio_model, conditions,
-                                       regime.world->net, *regime.path);
-        config.downlink = downlink_sampler(*regime.radio_model, conditions,
-                                           regime.world->net, *regime.path);
+        config.uplink =
+            uplink_sampler(*regime.radio_model, conditions,
+                           regime.world->net.compile(*regime.path));
+        config.downlink =
+            downlink_sampler(*regime.radio_model, conditions,
+                             regime.world->net.compile(*regime.path));
         config.seed = seed;
         return edgeai::ServingStudy::run(config);
       });

@@ -1,5 +1,7 @@
 #include "edgeai/serving.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "netsim/simulator.hpp"
 #include "stats/distributions.hpp"
@@ -8,10 +10,17 @@ namespace sixg::edgeai {
 
 double ServingStudy::Report::within(Duration budget) const {
   if (e2e_samples_ms.empty()) return 0.0;
-  std::uint64_t ok = 0;
-  for (const double ms : e2e_samples_ms) {
-    if (ms <= budget.ms()) ++ok;
+  if (sorted_e2e_ms_.size() == e2e_samples_ms.size()) {
+    const auto end = std::upper_bound(sorted_e2e_ms_.begin(),
+                                      sorted_e2e_ms_.end(), budget.ms());
+    return double(end - sorted_e2e_ms_.begin()) /
+           double(sorted_e2e_ms_.size());
   }
+  // Hand-assembled reports (no run() snapshot): plain scan. No caching
+  // here — within() stays a pure read, safe for concurrent callers.
+  std::uint64_t ok = 0;
+  for (const double ms : e2e_samples_ms)
+    if (ms <= budget.ms()) ++ok;
   return double(ok) / double(e2e_samples_ms.size());
 }
 
@@ -42,6 +51,7 @@ ServingStudy::Report ServingStudy::run(const Config& config) {
   Rng downlink_rng{derive_seed(config.seed, 0xd011)};
 
   Report report;
+  report.e2e_samples_ms.reserve(config.requests);
   EnergyBreakdown energy_sum;
   TimePoint makespan;
 
@@ -106,6 +116,9 @@ ServingStudy::Report ServingStudy::run(const Config& config) {
   const double makespan_sec = (makespan - TimePoint{}).sec();
   if (makespan_sec > 0.0)
     report.throughput_per_s = double(report.completed) / makespan_sec;
+  // Samples are final here: take the sorted snapshot within() probes.
+  report.sorted_e2e_ms_ = report.e2e_samples_ms;
+  std::sort(report.sorted_e2e_ms_.begin(), report.sorted_e2e_ms_.end());
   return report;
 }
 

@@ -60,8 +60,15 @@ class ServingStudy {
     /// feeds empirical samplers (e.g. the AR frame loop).
     std::vector<double> e2e_samples_ms;
 
-    /// Share of completed requests within `budget`.
+    /// Share of completed requests within `budget`. Reports produced by
+    /// run() carry a sorted snapshot of the samples, so probing many
+    /// budgets is one sort + a binary search per budget instead of one
+    /// scan per budget. Pure read: safe to call concurrently.
     [[nodiscard]] double within(Duration budget) const;
+
+   private:
+    friend class ServingStudy;
+    std::vector<double> sorted_e2e_ms_;  ///< sorted snapshot from run()
   };
 
   /// Pure function of the config (determinism contract): same config ->

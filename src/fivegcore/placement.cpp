@@ -74,12 +74,15 @@ PlacementResult UpfPlacementStudy::evaluate(
   const std::uint64_t flow = 7777;
   (void)upf.rules().add_rule(PdrRule{99, flow, 99, 40, 0});
 
-  std::optional<topo::Path> detour_path;
+  // The detour is sampled config_.samples times: compile it once and
+  // draw from the flattened parameters instead of re-resolving links.
+  std::optional<topo::CompiledPath> detour_path;
   std::optional<AnchorLeg> leg;
   if (placement == UpfPlacement::kNone) {
-    detour_path =
+    const topo::Path path =
         europe_->net.find_path(europe_->mobile_ue, europe_->university_probe);
-    SIXG_ASSERT(detour_path->valid(), "university unreachable");
+    SIXG_ASSERT(path.valid(), "university unreachable");
+    detour_path = europe_->net.compile(path);
   } else {
     leg = anchor_leg(placement);
   }
@@ -89,7 +92,7 @@ PlacementResult UpfPlacementStudy::evaluate(
   for (std::uint32_t i = 0; i < config_.samples; ++i) {
     Duration sample = radio_model.sample_rtt(config_.conditions, rng);
     if (detour_path) {
-      sample += europe_->net.sample_rtt(*detour_path, rng);
+      sample += detour_path->sample_rtt(rng);
     } else {
       const Duration one_way =
           Duration::from_micros_f(geo::fiber_delay_us(leg->distance_km)) +
@@ -107,7 +110,7 @@ PlacementResult UpfPlacementStudy::evaluate(
   r.access_profile = profile.name;
   r.mean_rtt_ms = rtt_ms.mean();
   r.p99_rtt_ms = quantiles.quantile(0.99);
-  r.anchor_km = leg ? leg->distance_km : detour_path->distance_km;
+  r.anchor_km = leg ? leg->distance_km : detour_path->distance_km();
   return r;
 }
 

@@ -29,6 +29,9 @@ class PingMeasurement {
 
   [[nodiscard]] bool reachable() const { return path_.valid(); }
   [[nodiscard]] const topo::Path& path() const { return path_; }
+  [[nodiscard]] const topo::CompiledPath& compiled_path() const {
+    return compiled_;
+  }
 
   /// One RTT sample in milliseconds.
   [[nodiscard]] double sample_ms(Rng& rng) const;
@@ -41,8 +44,8 @@ class PingMeasurement {
   [[nodiscard]] Result run(std::uint32_t count, Rng& rng) const;
 
  private:
-  const topo::Network* net_;
   topo::Path path_;
+  topo::CompiledPath compiled_;  ///< wired-path sampler (compiled once)
   const radio::RadioLinkModel* radio_ = nullptr;  // optional, not owned
   radio::CellConditions conditions_;
 };

@@ -15,15 +15,17 @@ SliceAdmission::SliceAdmission(const topo::Network& net, Config config)
 
 std::optional<SliceAdmission::Admitted> SliceAdmission::admit(
     const SliceSpec& spec, topo::NodeId from, topo::NodeId to) {
-  const topo::Path path = net_->find_path(from, to);
+  // find_path hits the Network route cache, so admitting many slices
+  // between recurring endpoint pairs re-runs no AS routing.
+  const topo::CompiledPath path = net_->compile(net_->find_path(from, to));
   if (!path.valid()) return std::nullopt;
 
   // Latency feasibility: the deterministic floor must fit the budget.
-  const Duration base_rtt = path.base_one_way + path.base_one_way;
+  const Duration base_rtt = path.base_one_way() + path.base_one_way();
   if (base_rtt > spec.latency_budget) return std::nullopt;
 
   // Capacity feasibility on every traversed link.
-  for (const topo::LinkId link : path.links) {
+  for (const topo::LinkId link : path.links()) {
     const auto idx = std::size_t(link.value());
     if (reserved_bps_.size() <= idx) reserved_bps_.resize(idx + 1, 0);
     const double limit = double(net_->link(link).capacity.bits_per_second()) *
@@ -33,7 +35,7 @@ std::optional<SliceAdmission::Admitted> SliceAdmission::admit(
       return std::nullopt;
   }
 
-  for (const topo::LinkId link : path.links)
+  for (const topo::LinkId link : path.links())
     reserved_bps_[std::size_t(link.value())] +=
         spec.guaranteed_rate.bits_per_second();
 
@@ -46,7 +48,7 @@ std::optional<SliceAdmission::Admitted> SliceAdmission::admit(
 bool SliceAdmission::release(std::uint32_t slice_id) {
   for (std::size_t i = 0; i < admitted_.size(); ++i) {
     if (admitted_[i].slice_id != slice_id) continue;
-    for (const topo::LinkId link : admitted_[i].path.links)
+    for (const topo::LinkId link : admitted_[i].path.links())
       reserved_bps_[std::size_t(link.value())] -=
           specs_[i].guaranteed_rate.bits_per_second();
     admitted_.erase(admitted_.begin() + std::ptrdiff_t(i));

@@ -26,7 +26,9 @@ class SliceAdmission {
 
   struct Admitted {
     std::uint32_t slice_id = 0;
-    topo::Path path;
+    /// The reserved route, compiled: traversed links for the capacity
+    /// ledger plus the flattened sampler for per-slice latency draws.
+    topo::CompiledPath path;
   };
 
   /// Try to admit `spec` between two endpoints. On success the

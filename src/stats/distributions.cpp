@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "stats/fast_math.hpp"
 
 namespace sixg::stats {
 
@@ -36,8 +37,13 @@ double Lognormal::mean() const {
 double Lognormal::median() const { return std::exp(mu_); }
 
 double ShiftedExponential::sample(Rng& rng) const {
-  // Inverse CDF; 1 - uniform() is in (0, 1] so log() is finite.
-  return shift_ - mean_excess_ * std::log(1.0 - rng.uniform());
+  // Inverse CDF; 1 - uniform() is in (0, 1] so the log is finite — and
+  // always positive normal, so the guard-free fast_log kernel applies.
+  // This draw is the per-link inner loop of every topology campaign;
+  // CompiledPath inlines the identical arithmetic, and the byte-match
+  // between the two depends on both using the same log kernel.
+  return shift_ -
+         mean_excess_ * fast_log_positive_normal(1.0 - rng.uniform());
 }
 
 double Gamma::sample(Rng& rng) const {

@@ -1,13 +1,19 @@
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
 #include "geo/coords.hpp"
+#include "topo/compiled_path.hpp"
 #include "topo/types.hpp"
 
 namespace sixg::topo {
@@ -66,8 +72,24 @@ struct Path {
 /// latency sampling. All mutation happens during scenario construction;
 /// afterwards the object is logically immutable and safe to share across
 /// replication worker threads (sampling takes an external Rng).
+///
+/// Query-side caching: the first routing query after a mutation builds a
+/// flat CSR adjacency (alive links only) and, per destination AS, the
+/// first `as_path`/`find_path`/`compute_as_routes_to` memoizes the AS
+/// routing table. `add_link`/`remove_link`/`add_node`/`add_as`
+/// invalidate both, so repeated queries are amortized and mutation is
+/// always honoured. Cache fills are mutex-guarded (concurrent const
+/// queries are safe); mutation itself remains construction-phase,
+/// single-threaded, and invalidates `links_of` spans.
 class Network {
  public:
+  Network();
+  Network(const Network& other);             // copies topology, not caches
+  Network& operator=(const Network& other);
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+  ~Network() = default;
+
   // -- construction ---------------------------------------------------------
   AsId add_as(std::uint32_t asn, std::string name);
   NodeId add_node(std::string name, std::string ipv4, NodeKind kind, AsId as,
@@ -99,7 +121,12 @@ class Network {
   [[nodiscard]] std::size_t link_count() const;
   [[nodiscard]] std::size_t as_count() const { return ases_.size(); }
   [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
-  [[nodiscard]] std::vector<LinkId> links_of(NodeId n) const;
+
+  /// Alive links incident to `n`, as a view over the CSR adjacency — no
+  /// allocation. The span is invalidated by any topology mutation
+  /// (add_link/remove_link/add_node/add_as); snapshot into a vector when
+  /// iterating across mutations.
+  [[nodiscard]] std::span<const LinkId> links_of(NodeId n) const;
 
   /// Other endpoint of `l` as seen from `n`.
   [[nodiscard]] NodeId peer_of(LinkId l, NodeId n) const;
@@ -139,6 +166,11 @@ class Network {
     return sample_link_queueing(link(l), rng);
   }
 
+  /// Flatten `path` for cheap repeated sampling (see CompiledPath).
+  /// Recompile after topology mutation — compiled paths snapshot link
+  /// parameters and do not observe later changes.
+  [[nodiscard]] CompiledPath compile(const Path& path) const;
+
  private:
   [[nodiscard]] Duration sample_link_queueing(const Link& l, Rng& rng) const;
   [[nodiscard]] Path intra_as_path(NodeId src, NodeId dst) const;
@@ -161,6 +193,30 @@ class Network {
   std::vector<AsAdjacency> as_adjacency_;
   void add_as_edge(AsId customer, AsId provider, bool peer);
   void rebuild_as_adjacency();
+
+  /// Derived query-time structures. Held behind a unique_ptr so the
+  /// Network stays movable (the mutex pins the cache in place); rebuilt
+  /// lazily under `mu` after every mutation.
+  struct RouteCache {
+    std::mutex mu;
+    std::atomic<bool> csr_ready{false};
+    std::vector<std::uint32_t> csr_offsets;    ///< node -> begin in csr_links
+    std::vector<LinkId> csr_links;             ///< alive incident links
+    std::vector<std::uint8_t> route_ready;     ///< per destination AS
+    std::vector<std::vector<AsRoute>> routes;  ///< memoized routing tables
+    /// Memoized find_path results, keyed by (src << 32) | dst. Routing
+    /// is a pure function of the (static-between-mutations) topology,
+    /// so repeated queries to a cached pair return a copy.
+    std::unordered_map<std::uint64_t, Path> path_memo;
+  };
+  mutable std::unique_ptr<RouteCache> cache_;
+
+  void invalidate_routing_caches();
+  RouteCache& csr() const;  ///< build-on-first-use accessor
+  /// Memoized routing table towards `dst`; `cache_->mu` must be held.
+  const std::vector<AsRoute>& routes_to_locked(AsId dst) const;
+  [[nodiscard]] std::vector<AsRoute> compute_as_routes_uncached(AsId dst)
+      const;
 };
 
 }  // namespace sixg::topo

@@ -369,6 +369,40 @@ TEST(ArGameInference, InferenceDelayGatesConsistency) {
 
 // -------------------------------------------------------------- scenarios
 
+TEST(ServingReport, WithinMatchesNaiveCountForManyBudgets) {
+  ServingStudy::Config config;
+  config.requests = 600;
+  config.arrivals_per_second = 800.0;
+  config.seed = 41;
+  const auto report = ServingStudy::run(config);
+  ASSERT_GT(report.e2e_samples_ms.size(), 0u);
+  // The sorted-pass within() must agree with a naive scan at every
+  // probed budget, including degenerate ones.
+  for (const double budget_ms : {0.0, 0.5, 1.0, 2.0, 5.0, 20.0, 1e9}) {
+    std::size_t naive = 0;
+    for (const double ms : report.e2e_samples_ms)
+      if (ms <= budget_ms) ++naive;
+    EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(budget_ms)),
+                     double(naive) / double(report.e2e_samples_ms.size()))
+        << "budget=" << budget_ms;
+  }
+}
+
+TEST(ServingReport, WithinOnEmptyReportIsZero) {
+  ServingStudy::Report report;
+  EXPECT_EQ(report.within(Duration::from_millis_f(10.0)), 0.0);
+}
+
+TEST(ServingReport, WithinOnHandAssembledReportScans) {
+  // Reports built outside run() have no sorted snapshot; within() must
+  // fall back to a plain scan and still be correct.
+  ServingStudy::Report report;
+  report.e2e_samples_ms = {5.0, 1.0, 9.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(4.0)), 0.4);
+  EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(9.0)), 1.0);
+  EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(0.5)), 0.0);
+}
+
 TEST(EdgeAiScenarios, RegisteredAndListed) {
   core::ScenarioRegistry registry;
   core::register_paper_scenarios(registry);

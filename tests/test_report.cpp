@@ -48,8 +48,9 @@ TEST(FailureInjection, Tier1PeerCutPartitionsTheBackbone) {
   topo::Backbone backbone = topo::build_backbone(1);
   // Stubs homed west vs east communicate across the tier-1 peering; cut
   // it and single-homed pairs on opposite sides lose connectivity.
-  const auto t1_links = backbone.net.links_of(
+  const auto t1_view = backbone.net.links_of(
       *backbone.net.find_node("t1-fra"));
+  const std::vector<topo::LinkId> t1_links(t1_view.begin(), t1_view.end());
   for (const auto link : t1_links) {
     if (backbone.net.link(link).relation == topo::LinkRelation::kPeer)
       backbone.net.remove_link(link);

@@ -68,8 +68,8 @@ TEST_F(AdmissionFixture, ReservationsAccumulateAndRelease) {
   const auto admitted = admission.admit(spec, peered_->mobile_ue,
                                         peered_->university_probe);
   ASSERT_TRUE(admitted.has_value());
-  ASSERT_FALSE(admitted->path.links.empty());
-  const topo::LinkId first = admitted->path.links.front();
+  ASSERT_FALSE(admitted->path.links().empty());
+  const topo::LinkId first = admitted->path.links().front();
   EXPECT_EQ(admission.reserved_on(first).bits_per_second(),
             spec.guaranteed_rate.bits_per_second());
   EXPECT_GT(admission.reservation_ratio(first), 0.0);

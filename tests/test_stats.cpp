@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/distributions.hpp"
+#include "stats/fast_math.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
 
@@ -302,6 +304,65 @@ TEST(Bootstrap, HigherConfidenceWidensInterval) {
   const Interval narrow = bootstrap_mean_ci(sample, 0.80, 2000, 3);
   const Interval wide = bootstrap_mean_ci(sample, 0.99, 2000, 3);
   EXPECT_GT(wide.width(), narrow.width());
+}
+
+// ------------------------------------------------------------- fast_log
+
+TEST(FastLog, TracksLibmAcrossTheSamplerDomain) {
+  // The exponential samplers feed x = 1 - uniform() in (0, 1]; fast_log
+  // must stay within a few ulp of libm there (the committed-table kernel
+  // is accurate to ~2.5e-16 absolute for |log| < 1).
+  Rng rng{2024};
+  for (int i = 0; i < 2'000'000; ++i) {
+    const double x = 1.0 - rng.uniform();
+    const double ref = std::log(x);
+    const double fast = fast_log(x);
+    const double tol = 1e-15 * std::max(1.0, std::fabs(ref));
+    ASSERT_NEAR(ref, fast, tol) << "x=" << x;
+  }
+}
+
+TEST(FastLog, TracksLibmAcrossMagnitudes) {
+  Rng rng{7};
+  for (int exp10 = -300; exp10 <= 300; exp10 += 7) {
+    const double scale = std::pow(10.0, exp10);
+    for (int i = 0; i < 200; ++i) {
+      const double x = rng.uniform(0.5, 1.5) * scale;
+      const double ref = std::log(x);
+      ASSERT_NEAR(ref, fast_log(x), 1e-15 * std::max(1.0, std::fabs(ref)))
+          << "x=" << x;
+    }
+  }
+}
+
+TEST(FastLog, SpecialValuesMatchLibmSemantics) {
+  // log(1) is ~1e-17, not exactly 0 (table method); every sampler
+  // truncates to integer nanoseconds, which absorbs it.
+  EXPECT_NEAR(fast_log(1.0), 0.0, 1e-15);
+  EXPECT_TRUE(std::isinf(fast_log(0.0)));
+  EXPECT_LT(fast_log(0.0), 0.0);
+  EXPECT_TRUE(std::isnan(fast_log(-1.0)));
+  EXPECT_TRUE(std::isinf(fast_log(
+      std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(fast_log(
+      std::numeric_limits<double>::quiet_NaN())));
+  // Subnormals route through the fallback and stay finite.
+  const double sub = std::numeric_limits<double>::denorm_min();
+  EXPECT_NEAR(fast_log(sub), std::log(sub), 1e-12);
+}
+
+TEST(FastLog, ShiftedExponentialUsesTheSharedKernel) {
+  // The distribution's inverse-CDF draw must equal the hand-written
+  // expression over the same kernel — this is the contract CompiledPath
+  // relies on for byte-equal sampling.
+  const ShiftedExponential dist{0.0, 17.5};
+  Rng a{5};
+  Rng b{5};
+  for (int i = 0; i < 10000; ++i) {
+    const double expected =
+        0.0 - 17.5 * fast_log_positive_normal(1.0 - b.uniform());
+    ASSERT_EQ(dist.sample(a), expected);
+  }
 }
 
 }  // namespace

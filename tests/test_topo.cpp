@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "geo/coords.hpp"
+#include "measurement/ping.hpp"
 #include "stats/summary.hpp"
+#include "topo/compiled_path.hpp"
 #include "topo/europe.hpp"
 #include "topo/network.hpp"
 #include "topo/traceroute.hpp"
@@ -123,7 +128,10 @@ TEST(PolicyRouting, NoTransitThroughPeersOfPeers) {
   // middle AS must not transit: remove the peer edge and connectivity
   // dies.
   MiniInternet mini;
-  const auto t1t2 = mini.net.links_of(mini.n_t1);
+  // links_of returns a span over the adjacency cache; snapshot before
+  // mutating (remove_link invalidates the view).
+  const auto t1t2_view = mini.net.links_of(mini.n_t1);
+  const std::vector<LinkId> t1t2(t1t2_view.begin(), t1t2_view.end());
   for (const LinkId l : t1t2) {
     if (mini.net.link(l).relation == LinkRelation::kPeer)
       mini.net.remove_link(l);
@@ -227,6 +235,220 @@ TEST(RouterPath, SampleRttAtLeastBase) {
     const Duration rtt = mini.net.sample_rtt(p, rng);
     EXPECT_GE(rtt.ns(), 2 * p.base_one_way.ns());
   }
+}
+
+// --------------------------------------------------------- compiled paths
+
+/// Chain of `hops` intra-AS links with varied utilisation (including a
+/// zero-load and a near-saturated link for parameter edge cases).
+Network chain_net(int hops) {
+  Network net;
+  const AsId as = net.add_as(1, "chain");
+  std::vector<NodeId> nodes;
+  const geo::LatLon base{46.6, 14.3};
+  for (int i = 0; i <= hops; ++i) {
+    nodes.push_back(net.add_node("c" + std::to_string(i),
+                                 "ip" + std::to_string(i), NodeKind::kRouter,
+                                 as,
+                                 {base.lat_deg + 0.02 * double(i),
+                                  base.lon_deg}));
+  }
+  for (int i = 0; i < hops; ++i) {
+    Network::LinkOptions options;
+    options.utilization =
+        (i == 0) ? 0.0 : (i == 1 ? 0.997 : 0.1 + 0.07 * double(i % 11));
+    net.add_link(nodes[std::size_t(i)], nodes[std::size_t(i) + 1],
+                 LinkRelation::kIntraAs, options);
+  }
+  return net;
+}
+
+// The determinism contract of the compile/sample split: for every hop
+// count 0..12 and 16 seeds, CompiledPath::sample_rtt consumes the RNG
+// exactly like Network::sample_rtt and returns the identical Duration.
+// 200 draws per (hops, seed) pair make the 2 % spike branch fire
+// thousands of times across the sweep.
+TEST(CompiledPath, ByteMatchesNetworkSamplerAcrossSeedsAndHopCounts) {
+  for (int hops = 0; hops <= 12; ++hops) {
+    const Network net = chain_net(hops);
+    const Path path =
+        net.find_path(NodeId{0}, NodeId{std::uint32_t(hops)});
+    ASSERT_TRUE(path.valid());
+    const CompiledPath compiled = net.compile(path);
+    ASSERT_EQ(compiled.hop_count(), std::size_t(hops));
+    EXPECT_EQ(compiled.base_one_way().ns(), path.base_one_way.ns());
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      Rng rng_ref{seed * 977};
+      Rng rng_cmp{seed * 977};
+      for (int draw = 0; draw < 200; ++draw) {
+        const Duration ref = net.sample_rtt(path, rng_ref);
+        const Duration cmp = compiled.sample_rtt(rng_cmp);
+        ASSERT_EQ(ref.ns(), cmp.ns())
+            << "hops=" << hops << " seed=" << seed << " draw=" << draw;
+      }
+      // Same RNG state out: the next raw draws agree.
+      for (int i = 0; i < 4; ++i) ASSERT_EQ(rng_ref(), rng_cmp());
+    }
+  }
+}
+
+// The 2 % spike branch consumes an extra magnitude draw; a shadow RNG
+// replaying the documented draw contract must (a) fire spikes during the
+// sweep and (b) land on exactly the same stream position as the real
+// sampler — proving the branch executed and consumed draws correctly.
+TEST(CompiledPath, SpikeBranchFiresAndConsumesDraws) {
+  const Network net = chain_net(12);
+  const Path path = net.find_path(NodeId{0}, NodeId{12});
+  const CompiledPath compiled = net.compile(path);
+  Rng shadow{977};
+  Rng actual{977};
+  std::uint64_t spikes = 0;
+  for (int draw = 0; draw < 200; ++draw) {
+    for (int dir = 0; dir < 2; ++dir) {
+      for (std::size_t h = 0; h < path.links.size(); ++h) {
+        (void)shadow.uniform();  // queueing draw
+        if (shadow.chance(0.02)) {
+          ++spikes;
+          (void)shadow.uniform();  // spike magnitude draw
+        }
+      }
+    }
+    (void)compiled.sample_rtt(actual);
+  }
+  EXPECT_GT(spikes, 0u);
+  EXPECT_EQ(shadow(), actual());
+}
+
+TEST(CompiledPath, OneWayByteMatchesNetworkSampler) {
+  const Network net = chain_net(6);
+  const Path path = net.find_path(NodeId{0}, NodeId{6});
+  const CompiledPath compiled = net.compile(path);
+  for (std::uint64_t seed : {7u, 1234u, 999999u}) {
+    Rng a{seed};
+    Rng b{seed};
+    for (int i = 0; i < 500; ++i)
+      ASSERT_EQ(net.sample_one_way(path, a).ns(),
+                compiled.sample_one_way(b).ns());
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(CompiledPath, HopQueueingByteMatchesNetworkSampler) {
+  const Network net = chain_net(5);
+  const Path path = net.find_path(NodeId{0}, NodeId{5});
+  const CompiledPath compiled = net.compile(path);
+  Rng a{42};
+  Rng b{42};
+  for (int round = 0; round < 300; ++round) {
+    for (std::size_t h = 0; h < compiled.hop_count(); ++h)
+      ASSERT_EQ(net.sample_queueing(path.links[h], a).ns(),
+                compiled.sample_hop_queueing(h, b).ns());
+  }
+  EXPECT_EQ(a(), b());
+}
+
+TEST(CompiledPath, BatchMatchesSerialDraws) {
+  const Network net = chain_net(8);
+  const CompiledPath compiled =
+      net.compile(net.find_path(NodeId{0}, NodeId{8}));
+  Rng serial{31337};
+  Rng batched{31337};
+  std::vector<double> serial_ms(257);
+  for (double& ms : serial_ms) ms = compiled.sample_rtt(serial).ms();
+  std::vector<double> batch_ms(257);  // odd size: exercises any chunking
+  compiled.sample_rtt_into(batch_ms, batched);
+  for (std::size_t i = 0; i < serial_ms.size(); ++i)
+    ASSERT_EQ(serial_ms[i], batch_ms[i]);
+  EXPECT_EQ(serial(), batched());
+}
+
+TEST(CompiledPath, TrivialAndInvalidPaths) {
+  const Network net = chain_net(3);
+  // Self-path: zero hops, zero latency, still valid.
+  const CompiledPath self = net.compile(net.find_path(NodeId{1}, NodeId{1}));
+  EXPECT_TRUE(self.valid());
+  EXPECT_EQ(self.hop_count(), 0u);
+  Rng rng{1};
+  EXPECT_EQ(self.sample_rtt(rng).ns(), 0);
+  // Invalid path compiles to an invalid CompiledPath.
+  const CompiledPath invalid = net.compile(Path{});
+  EXPECT_FALSE(invalid.valid());
+}
+
+TEST(CompiledPath, PingMeasurementUsesCompiledPath) {
+  MiniInternet mini;
+  // PingMeasurement::run must equal hand-rolled Network::sample_rtt
+  // draws (wired case goes through the batched compiled sampler).
+  const Path path = mini.net.find_path(mini.n_s1, mini.n_s3);
+  Rng ref_rng{99};
+  stats::Summary ref;
+  for (int i = 0; i < 500; ++i)
+    ref.add(mini.net.sample_rtt(path, ref_rng).ms());
+
+  const meas::PingMeasurement ping{mini.net, mini.n_s1, mini.n_s3};
+  Rng rng{99};
+  const auto result = ping.run(500, rng);
+  EXPECT_EQ(ref.count(), result.summary_ms.count());
+  EXPECT_EQ(ref.mean(), result.summary_ms.mean());
+  EXPECT_EQ(ref.stddev(), result.summary_ms.stddev());
+}
+
+// ------------------------------------------------------ route-cache rules
+
+TEST(RouteCache, RemoveLinkInvalidatesMemoizedPath) {
+  // Two parallel intra-AS routes: a fast direct link and a slow detour.
+  Network net;
+  const AsId as = net.add_as(1, "A");
+  const geo::LatLon pos{47.0, 15.0};
+  const auto mk = [&](const char* n) {
+    return net.add_node(n, n, NodeKind::kRouter, as, pos);
+  };
+  const NodeId a = mk("a");
+  const NodeId b = mk("b");
+  const NodeId c = mk("c");
+  Network::LinkOptions slow;
+  slow.extra_latency = 10_ms;
+  net.add_link(a, b, LinkRelation::kIntraAs, slow);
+  net.add_link(b, c, LinkRelation::kIntraAs, slow);
+  const LinkId fast = net.add_link(a, c, LinkRelation::kIntraAs);
+
+  // Warm every cache layer: repeated queries must come from the memo.
+  const Path before = net.find_path(a, c);
+  ASSERT_EQ(before.hop_count(), 1u);
+  ASSERT_EQ(net.find_path(a, c).hop_count(), 1u);
+
+  // Cut the fast link: a stale cache would still return the 1-hop path.
+  net.remove_link(fast);
+  const Path after = net.find_path(a, c);
+  ASSERT_TRUE(after.valid());
+  EXPECT_EQ(after.hop_count(), 2u);
+  EXPECT_EQ(after.nodes[1], b);
+
+  // Restore a fast link: the cache must also pick up additions.
+  net.add_link(a, c, LinkRelation::kIntraAs);
+  EXPECT_EQ(net.find_path(a, c).hop_count(), 1u);
+}
+
+TEST(RouteCache, RemoveLinkInvalidatesAsRouteMemo) {
+  MiniInternet mini;
+  // Warm the AS-route memo towards S3's AS, then cut the only peer edge:
+  // the re-query must see unreachability, not the memoized route.
+  ASSERT_FALSE(mini.net.as_path(mini.s1, mini.s3).empty());
+  const auto view = mini.net.links_of(mini.n_t1);
+  const std::vector<LinkId> t1_links(view.begin(), view.end());
+  for (const LinkId l : t1_links)
+    if (mini.net.link(l).relation == LinkRelation::kPeer)
+      mini.net.remove_link(l);
+  EXPECT_TRUE(mini.net.as_path(mini.s1, mini.s3).empty());
+}
+
+TEST(RouteCache, LinksOfSpanTracksMutation) {
+  MiniInternet mini;
+  const auto before = mini.net.links_of(mini.n_s1);
+  ASSERT_EQ(before.size(), 1u);
+  const LinkId only = before[0];
+  mini.net.remove_link(only);
+  EXPECT_EQ(mini.net.links_of(mini.n_s1).size(), 0u);
 }
 
 // ------------------------------------------------------------ Europe world
@@ -358,9 +580,13 @@ TEST_F(EuropeFixture, RemoveLinkForcesReroute) {
       world.net.find_path(world.mobile_ue, world.university_probe);
   ASSERT_TRUE(before.valid());
   // Cut the peering link in Prague: the only valley-free interconnect
-  // disappears and the destination becomes unreachable.
-  for (const LinkId l : world.net.links_of(
-           *world.net.find_node("zetservers.peering.cz"))) {
+  // disappears and the destination becomes unreachable. (Snapshot the
+  // links_of span before mutating.)
+  const auto prague_view = world.net.links_of(
+      *world.net.find_node("zetservers.peering.cz"));
+  const std::vector<LinkId> prague_links(prague_view.begin(),
+                                         prague_view.end());
+  for (const LinkId l : prague_links) {
     if (world.net.link(l).relation == LinkRelation::kPeer)
       world.net.remove_link(l);
   }
