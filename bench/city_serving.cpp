@@ -1,0 +1,12 @@
+// North-star fleet serving: 1M+ det-base requests per sweep across a 6G
+// edge-GPU fleet behind the peered metro path — latency-SLO attainment,
+// tail latency and drop behaviour as the fleet grows through the
+// provisioning knee of a fixed 12k req/s city load.
+
+#include "bench_util.hpp"
+
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "city-serving"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("city-serving", argc, argv);
+}

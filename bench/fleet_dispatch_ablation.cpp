@@ -1,0 +1,13 @@
+// Fleet dispatch ablation: round-robin vs join-shortest-queue vs
+// tier-affine over N edge GPUs plus a cloud backstop behind the WAN leg
+// — how much traffic each policy leaks to the cloud and what that costs
+// against the 20 ms AR budget.
+
+#include "bench_util.hpp"
+
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "fleet-dispatch-ablation"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("fleet-dispatch-ablation", argc,
+                                        argv);
+}

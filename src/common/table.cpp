@@ -38,32 +38,37 @@ void TextTable::set_align(std::size_t column, Align align) {
   align_[column] = align;
 }
 
-std::string TextTable::str() const {
+void TextTable::to(std::string& out) const {
   std::vector<std::size_t> width(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
   for (const auto& row : rows_)
     for (std::size_t c = 0; c < row.size(); ++c)
       width[c] = std::max(width[c], row[c].size());
 
-  std::ostringstream out;
+  std::size_t line_width = 2;  // '+' or '|' plus the trailing newline
+  for (const std::size_t w : width) line_width += w + 3;
+  out.reserve(out.size() + line_width * (rows_.size() + 4));
+
   auto emit_row = [&](const std::vector<std::string>& cells) {
-    out << '|';
+    out += '|';
     for (std::size_t c = 0; c < cells.size(); ++c) {
       const std::string& cell = cells[c];
       const std::size_t pad = width[c] - cell.size();
-      out << ' ';
-      if (align_[c] == Align::kRight) out << std::string(pad, ' ');
-      out << cell;
-      if (align_[c] == Align::kLeft) out << std::string(pad, ' ');
-      out << " |";
+      out += ' ';
+      if (align_[c] == Align::kRight) out.append(pad, ' ');
+      out += cell;
+      if (align_[c] == Align::kLeft) out.append(pad, ' ');
+      out += " |";
     }
-    out << '\n';
+    out += '\n';
   };
   auto emit_sep = [&] {
-    out << '+';
-    for (std::size_t c = 0; c < width.size(); ++c)
-      out << std::string(width[c] + 2, '-') << '+';
-    out << '\n';
+    out += '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out.append(width[c] + 2, '-');
+      out += '+';
+    }
+    out += '\n';
   };
 
   emit_sep();
@@ -71,7 +76,12 @@ std::string TextTable::str() const {
   emit_sep();
   for (const auto& row : rows_) emit_row(row);
   emit_sep();
-  return out.str();
+}
+
+std::string TextTable::str() const {
+  std::string out;
+  to(out);
+  return out;
 }
 
 std::string TextTable::csv() const {

@@ -35,6 +35,9 @@ class TextTable {
 
   /// Render with box-drawing separators.
   [[nodiscard]] std::string str() const;
+  /// Append the str() rendering to `out`: one growing buffer, no
+  /// per-cell temporary strings — what the scenario render loop uses.
+  void to(std::string& out) const;
   [[nodiscard]] std::string csv() const;
 
   friend std::ostream& operator<<(std::ostream& os, const TextTable& t);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <utility>
-#include <vector>
 
 #include "common/assert.hpp"
 
@@ -62,27 +61,68 @@ AcceleratorServer::AcceleratorServer(netsim::Simulator& sim,
       config_(config) {
   SIXG_ASSERT(config_.max_batch >= 1, "max_batch must be positive");
   SIXG_ASSERT(config_.queue_capacity >= 1, "queue capacity must be positive");
+  SIXG_ASSERT(config_.queue_capacity <= (std::size_t{1} << 24),
+              "queue_capacity is preallocated; bound it realistically");
   SIXG_ASSERT(!config_.batch_window.is_negative(),
               "batch window must be non-negative");
   SIXG_ASSERT(acc_.fits(model_), "model does not fit accelerator memory");
+  ring_.resize(config_.queue_capacity);
+  scratch_.resize(std::size_t{2} * config_.max_batch);
 }
 
-bool AcceleratorServer::submit(std::uint64_t request_id,
-                               CompletionHandler on_done) {
-  if (queue_.size() >= config_.queue_capacity) {
+void AcceleratorServer::set_completion_sink(CompletionSink sink) {
+  SIXG_ASSERT(static_cast<bool>(sink), "completion sink must be callable");
+  sink_ = std::move(sink);
+}
+
+bool AcceleratorServer::admit(Entry entry) {
+  if (count_ >= config_.queue_capacity) {
     ++dropped_;
     return false;
   }
   ++submitted_;
-  queue_.push_back(Pending{request_id, sim_.now(), std::move(on_done)});
+  ring_[(head_ + count_) % config_.queue_capacity] = entry;
+  ++count_;
   if (!busy_) maybe_dispatch();
   return true;
 }
 
+bool AcceleratorServer::submit(std::uint32_t slot, std::uint64_t payload) {
+  SIXG_ASSERT(static_cast<bool>(sink_),
+              "slab-path submit needs set_completion_sink() first");
+  return admit(Entry{slot, payload, sim_.now(), -1});
+}
+
+bool AcceleratorServer::submit(std::uint64_t request_id,
+                               CompletionHandler on_done) {
+  if (count_ >= config_.queue_capacity) {
+    ++dropped_;
+    return false;
+  }
+  if (handlers_.capacity() == 0) {
+    // Legacy-path storage materialises on first use: slab-path servers
+    // never pay for it. Bounded by queued + in-flight handlers.
+    const std::size_t bound = config_.queue_capacity +
+                              std::size_t{2} * config_.max_batch;
+    handlers_.reserve(bound);
+    free_handlers_.reserve(bound);
+  }
+  std::int32_t handler;
+  if (!free_handlers_.empty()) {
+    handler = free_handlers_.back();
+    free_handlers_.pop_back();
+    handlers_[std::size_t(handler)] = std::move(on_done);
+  } else {
+    handler = std::int32_t(handlers_.size());
+    handlers_.push_back(std::move(on_done));
+  }
+  return admit(Entry{request_id, 0, sim_.now(), handler});
+}
+
 void AcceleratorServer::maybe_dispatch() {
   SIXG_ASSERT(!busy_, "dispatch re-evaluated while a batch is in flight");
-  if (queue_.empty()) return;
-  if (queue_.size() >= config_.max_batch) {
+  if (count_ == 0) return;
+  if (count_ >= config_.max_batch) {
     launch_batch();
     return;
   }
@@ -92,42 +132,58 @@ void AcceleratorServer::maybe_dispatch() {
   // completion drain) disarms it in O(1) instead of leaving a stale
   // no-op event behind.
   window_timer_ = sim_.schedule_once(config_.batch_window, [this] {
-    if (!busy_ && !queue_.empty()) launch_batch();
+    if (!busy_ && count_ > 0) launch_batch();
   });
 }
 
 void AcceleratorServer::launch_batch() {
-  SIXG_ASSERT(!busy_ && !queue_.empty(), "launch needs an idle server");
+  SIXG_ASSERT(!busy_ && count_ > 0, "launch needs an idle server");
   // Any armed window is now moot.
   window_timer_.cancel();
 
   const auto n = std::uint32_t(
-      std::min<std::size_t>(queue_.size(), config_.max_batch));
-  std::vector<Pending> batch;
-  batch.reserve(n);
+      std::min<std::size_t>(count_, config_.max_batch));
+  const std::uint32_t offset = scratch_parity_ * config_.max_batch;
+  scratch_parity_ ^= 1;
   for (std::uint32_t i = 0; i < n; ++i) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    scratch_[offset + i] = ring_[(head_ + i) % config_.queue_capacity];
   }
+  head_ = (head_ + n) % config_.queue_capacity;
+  count_ -= n;
   ++batches_;
   completed_in_batches_ += n;
   busy_ = true;
+  in_service_ = n;
 
   const TimePoint started = sim_.now();
   const Duration service = acc_.service_time(model_, n);
-  sim_.schedule_after(service, [this, started, n,
-                                batch = std::move(batch)]() mutable {
-    busy_ = false;
-    const TimePoint done = sim_.now();
-    for (auto& p : batch) {
-      ++completed_;
-      if (p.on_done) {
-        p.on_done(Completion{p.id, p.submitted, started, done, n});
-      }
-    }
-    // Requests that queued behind this batch are served next, FIFO.
-    maybe_dispatch();
+  sim_.schedule_after(service, [this, started, offset, n] {
+    finish_batch(started, offset, n);
   });
+}
+
+void AcceleratorServer::finish_batch(TimePoint started, std::uint32_t offset,
+                                     std::uint32_t n) {
+  busy_ = false;
+  in_service_ = 0;
+  const TimePoint done = sim_.now();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Entry& entry = scratch_[offset + i];
+    ++completed_;
+    const Completion completion{entry.key, entry.submitted, started, done, n};
+    if (entry.handler >= 0) {
+      // Move the handler out before invoking: the callback may submit
+      // again and recycle the slot.
+      CompletionHandler handler = std::move(handlers_[std::size_t(
+          entry.handler)]);
+      free_handlers_.push_back(entry.handler);
+      if (handler) handler(completion);
+    } else {
+      sink_(std::uint32_t(entry.key), entry.payload, completion);
+    }
+  }
+  // Requests that queued behind this batch are served next, FIFO.
+  if (!busy_) maybe_dispatch();
 }
 
 }  // namespace sixg::edgeai

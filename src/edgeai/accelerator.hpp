@@ -1,12 +1,20 @@
 /// @file accelerator.hpp — inference accelerator profiles and the
 /// event-driven accelerator server: a bounded request queue drained with
 /// dynamic batching (batch window + max batch size) on the netsim kernel.
+///
+/// The server has two submission paths. The slab path —
+/// set_completion_sink() + submit(slot) — carries a caller-side index
+/// through a preallocated ring queue and reports completions through ONE
+/// per-server callback, so steady-state serving performs zero heap
+/// allocations per request. The legacy path — submit(id, handler) — keeps
+/// the per-request std::function completion handler for callers that
+/// genuinely need per-request closures (tests, ad-hoc harnesses).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/time.hpp"
 #include "common/units.hpp"
@@ -70,7 +78,9 @@ class AcceleratorServer {
     /// bounds the fill wait from the moment a request could have been
     /// scheduled, not its total queue time behind in-flight batches.
     Duration batch_window;
-    std::size_t queue_capacity = 256;  ///< beyond this, submissions drop
+    /// Beyond this, submissions drop. The queue ring is preallocated to
+    /// this many entries, so pick the real bound, not "infinity".
+    std::size_t queue_capacity = 256;
   };
 
   /// Per-request completion record.
@@ -86,6 +96,13 @@ class AcceleratorServer {
     [[nodiscard]] Duration total() const { return done - submitted; }
   };
   using CompletionHandler = std::function<void(const Completion&)>;
+  /// Slab-path completion callback, one per server: fires once per
+  /// request in FIFO order as its batch completes. `slot` and `payload`
+  /// echo the submit(slot, payload) call; Completion::request_id is the
+  /// slot.
+  using CompletionSink =
+      std::function<void(std::uint32_t slot, std::uint64_t payload,
+                         const Completion& completion)>;
 
   AcceleratorServer(netsim::Simulator& sim, AcceleratorProfile accelerator,
                     ModelProfile model, BatchingConfig config);
@@ -93,16 +110,30 @@ class AcceleratorServer {
   AcceleratorServer(const AcceleratorServer&) = delete;
   AcceleratorServer& operator=(const AcceleratorServer&) = delete;
 
-  /// Enqueue a request at sim.now(). Returns false (and counts a drop)
-  /// when the queue is at capacity; `on_done` then never fires.
+  /// Install the per-server completion callback for the slab path. Must
+  /// be set (once, before the first submit(slot)) and never per request.
+  void set_completion_sink(CompletionSink sink);
+
+  /// Slab path: enqueue caller-side record `slot` at sim.now(), carrying
+  /// an opaque `payload` word back to the completion sink. Returns false
+  /// (and counts a drop) when the queue is at capacity; the sink then
+  /// never fires for this slot. Allocation-free.
+  bool submit(std::uint32_t slot, std::uint64_t payload = 0);
+
+  /// Legacy path: enqueue a request with its own completion handler.
+  /// Returns false (and counts a drop) when the queue is at capacity;
+  /// `on_done` then never fires.
   bool submit(std::uint64_t request_id, CompletionHandler on_done);
 
   // -- introspection --------------------------------------------------------
   [[nodiscard]] const AcceleratorProfile& accelerator() const { return acc_; }
   [[nodiscard]] const ModelProfile& model() const { return model_; }
   [[nodiscard]] const BatchingConfig& batching() const { return config_; }
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const { return count_; }
   [[nodiscard]] bool busy() const { return busy_; }
+  /// Requests in the batch currently executing (0 when idle): together
+  /// with queue_depth() this is the load a dispatch policy sees.
+  [[nodiscard]] std::uint32_t in_service() const { return in_service_; }
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
@@ -114,23 +145,47 @@ class AcceleratorServer {
   }
 
  private:
-  struct Pending {
-    std::uint64_t id;
+  /// One queued request. Trivially copyable on purpose: ring and scratch
+  /// moves are plain stores, and the per-request handler (legacy path
+  /// only) lives in a side slab addressed by index.
+  struct Entry {
+    std::uint64_t key = 0;      ///< request id (legacy) or slot (slab)
+    std::uint64_t payload = 0;  ///< opaque caller word (slab path)
     TimePoint submitted;
-    CompletionHandler on_done;
+    std::int32_t handler = -1;  ///< handlers_ index; -1 = sink path
   };
 
+  [[nodiscard]] bool admit(Entry entry);
   /// Re-evaluate the batching rules; only meaningful when idle.
   void maybe_dispatch();
   void launch_batch();
+  /// Staged completion: invoke per-request callbacks FIFO, then drain.
+  void finish_batch(TimePoint started, std::uint32_t offset, std::uint32_t n);
 
   netsim::Simulator& sim_;
   AcceleratorProfile acc_;
   ModelProfile model_;
   BatchingConfig config_;
 
-  std::deque<Pending> queue_;
+  /// Bounded FIFO ring, preallocated to queue_capacity entries.
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+
+  /// Batch scratch ring: two max_batch regions used alternately, so a
+  /// batch launched from inside a completion callback (the server is
+  /// already free then) cannot overwrite the batch still being reported.
+  std::vector<Entry> scratch_;
+  std::uint32_t scratch_parity_ = 0;
+
+  /// Legacy-path completion handlers, recycled through a free list.
+  std::vector<CompletionHandler> handlers_;
+  std::vector<std::int32_t> free_handlers_;
+
+  CompletionSink sink_;
+
   bool busy_ = false;
+  std::uint32_t in_service_ = 0;
   /// Armed batch window, if any; cancelled when a batch launches first.
   netsim::Simulator::TimerHandle window_timer_;
 

@@ -1,0 +1,356 @@
+#include "edgeai/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "edgeai/request_slab.hpp"
+#include "netsim/simulator.hpp"
+#include "stats/distributions.hpp"
+
+namespace sixg::edgeai {
+
+const char* to_string(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin:
+      return "round-robin";
+    case DispatchPolicy::kJoinShortestQueue:
+      return "join-shortest-queue";
+    case DispatchPolicy::kTierAffine:
+      return "tier-affine";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One FleetStudy run's mutable state: the shared slab, the server pool
+/// and the dispatch machinery. Same event discipline as ServingEngine
+/// in serving.cpp — index-carrying inline captures, zero per-request
+/// allocations — with the server index riding along. The two engines
+/// are deliberately separate (ServingEngine is pinned to the legacy
+/// byte-identity contract; this one adds dispatch, per-server
+/// accounting and an SLO counter), but they mirror each other hop for
+/// hop: a lifecycle fix in one almost certainly belongs in the other.
+struct FleetEngine {
+  struct ServerState {
+    std::unique_ptr<AcceleratorServer> server;
+    const FleetStudy::ServerSpec* spec = nullptr;
+    bool networked = false;
+    std::uint64_t dispatched = 0;
+    stats::Summary queue_ms;
+    /// Amortised per-request compute energy by batch size (device
+    /// compute for the device tier, server compute otherwise).
+    std::vector<double> compute_j_by_batch;
+  };
+
+  const FleetStudy::Config& config;
+  netsim::Simulator sim;
+  InferenceEnergyModel energy;
+  std::vector<ServerState> servers;
+  /// Tier-affine preference: server indices grouped edge, cloud, device.
+  std::vector<std::uint32_t> tier_order;
+  std::vector<std::uint32_t> tier_group_end;  ///< exclusive end per group
+
+  Rng arrival_rng;
+  Rng uplink_rng;
+  Rng downlink_rng;
+  stats::ShiftedExponential interarrival;
+
+  RequestSlab slab;
+  FleetStudy::Report& report;
+  EnergyBreakdown energy_sum;
+  TimePoint makespan;
+  std::uint32_t round_robin_cursor = 0;
+
+  Duration up_airtime;
+  Duration down_airtime;
+  double uplink_j = 0.0;
+  double downlink_j = 0.0;
+  Duration tx_rx_airtime;
+
+  FleetEngine(const FleetStudy::Config& cfg, FleetStudy::Report& rep)
+      : config(cfg),
+        sim(cfg.seed),
+        energy(cfg.energy),
+        arrival_rng(derive_seed(cfg.seed, 0xf1ee)),
+        uplink_rng(derive_seed(cfg.seed, 0xf0b1)),
+        downlink_rng(derive_seed(cfg.seed, 0xfd01)),
+        interarrival(0.0, 1.0 / cfg.arrivals_per_second),
+        report(rep) {
+    slab.resize(cfg.requests);
+    up_airtime = energy.uplink_airtime(cfg.model);
+    down_airtime = energy.downlink_airtime(cfg.model);
+    uplink_j = cfg.energy.radio.tx_watts * up_airtime.sec();
+    downlink_j = cfg.energy.radio.rx_watts * down_airtime.sec();
+    tx_rx_airtime = up_airtime + down_airtime;
+  }
+
+  [[nodiscard]] std::uint64_t load_of(const ServerState& s) const {
+    return s.server->queue_depth() + s.server->in_service();
+  }
+
+  [[nodiscard]] std::uint32_t pick_min_load(std::uint32_t const* begin,
+                                            std::uint32_t const* end) const {
+    std::uint32_t best = *begin;
+    std::uint64_t best_load = load_of(servers[*begin]);
+    for (const std::uint32_t* it = begin + 1; it != end; ++it) {
+      const std::uint64_t load = load_of(servers[*it]);
+      if (load < best_load) {
+        best = *it;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::uint32_t dispatch() {
+    switch (config.policy) {
+      case DispatchPolicy::kRoundRobin: {
+        const std::uint32_t pick = round_robin_cursor;
+        round_robin_cursor =
+            (round_robin_cursor + 1) % std::uint32_t(servers.size());
+        return pick;
+      }
+      case DispatchPolicy::kJoinShortestQueue:
+        break;  // the all-servers scan below
+      case DispatchPolicy::kTierAffine: {
+        std::uint32_t group_begin = 0;
+        for (const std::uint32_t group_end : tier_group_end) {
+          if (group_end > group_begin) {
+            const std::uint32_t pick = pick_min_load(
+                tier_order.data() + group_begin,
+                tier_order.data() + group_end);
+            if (load_of(servers[pick]) < config.tier_spill_depth) return pick;
+          }
+          group_begin = group_end;
+        }
+        break;  // every tier saturated: fall back to global JSQ
+      }
+    }
+    std::uint32_t best = 0;
+    std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t k = 0; k < servers.size(); ++k) {
+      const std::uint64_t load = load_of(servers[k]);
+      if (load < best_load) {
+        best = k;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  void on_arrival(std::uint32_t slot);
+  void on_submit(std::uint32_t slot, std::uint32_t server, Duration up);
+  void on_complete(std::uint32_t server, std::uint32_t slot,
+                   std::uint64_t up_ns,
+                   const AcceleratorServer::Completion& completion);
+  void on_record(std::uint32_t slot, std::uint32_t server, std::uint32_t batch,
+                 Duration net, Duration queue_wait, Duration service);
+};
+
+struct FleetArrivalEvent {
+  FleetEngine* engine;
+  std::uint32_t slot;
+  void operator()() const { engine->on_arrival(slot); }
+};
+static_assert(sizeof(FleetArrivalEvent) <= netsim::InplaceAction::kInlineBytes);
+
+struct FleetSubmitEvent {
+  FleetEngine* engine;
+  std::uint32_t slot;
+  std::uint32_t server;
+  Duration up;
+  void operator()() const { engine->on_submit(slot, server, up); }
+};
+static_assert(sizeof(FleetSubmitEvent) <= netsim::InplaceAction::kInlineBytes);
+
+struct FleetRecordEvent {
+  FleetEngine* engine;
+  std::uint32_t slot;
+  std::uint32_t server;
+  std::uint32_t batch;
+  Duration net;
+  Duration queue_wait;
+  Duration service;
+  void operator()() const {
+    engine->on_record(slot, server, batch, net, queue_wait, service);
+  }
+};
+static_assert(sizeof(FleetRecordEvent) <= netsim::InplaceAction::kInlineBytes);
+
+void FleetEngine::on_arrival(std::uint32_t slot) {
+  if (slot + 1 < config.requests) {
+    // Chain the next arrival first (same tie discipline as the
+    // single-server engine).
+    const Duration delta =
+        Duration::from_seconds_f(interarrival.sample(arrival_rng));
+    sim.schedule_at(sim.now() + delta, FleetArrivalEvent{this, slot + 1});
+  }
+  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kScheduled,
+              "arrival fired twice for one slot");
+  slab.state[slot] = RequestSlab::State::kUplink;
+  slab.device_start[slot] = sim.now();
+  const std::uint32_t k = dispatch();
+  ServerState& target = servers[k];
+  ++target.dispatched;
+  const Duration up =
+      target.networked ? target.spec->uplink(uplink_rng) + up_airtime
+                       : Duration{};
+  if (up.is_zero()) {
+    on_submit(slot, k, up);
+    return;
+  }
+  sim.schedule_after(up, FleetSubmitEvent{this, slot, k, up});
+}
+
+void FleetEngine::on_submit(std::uint32_t slot, std::uint32_t server,
+                            Duration up) {
+  if (servers[server].server->submit(slot, std::uint64_t(up.ns()))) {
+    slab.state[slot] = RequestSlab::State::kQueued;
+  } else {
+    slab.state[slot] = RequestSlab::State::kDropped;
+  }
+}
+
+void FleetEngine::on_complete(std::uint32_t server, std::uint32_t slot,
+                              std::uint64_t up_ns,
+                              const AcceleratorServer::Completion& completion) {
+  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kQueued,
+              "fleet completion for a slot that is not queued");
+  slab.state[slot] = RequestSlab::State::kDownlink;
+  ServerState& from = servers[server];
+  const Duration down =
+      from.networked ? from.spec->downlink(downlink_rng) + down_airtime
+                     : Duration{};
+  const Duration net = Duration::nanos(std::int64_t(up_ns)) + down;
+  if (down.is_zero()) {
+    on_record(slot, server, completion.batch_size, net,
+              completion.queue_wait(), completion.service());
+    return;
+  }
+  sim.schedule_after(down, FleetRecordEvent{this, slot, server,
+                                            completion.batch_size, net,
+                                            completion.queue_wait(),
+                                            completion.service()});
+}
+
+void FleetEngine::on_record(std::uint32_t slot, std::uint32_t server,
+                            std::uint32_t batch, Duration net,
+                            Duration queue_wait, Duration service) {
+  const Duration e2e = sim.now() - slab.device_start[slot];
+  const double e2e_ms = e2e.ms();
+  report.e2e_ms.add(e2e_ms);
+  report.e2e_q.add(e2e_ms);
+  report.e2e_hist->add(e2e_ms);
+  report.network_ms.add(net.ms());
+  report.queue_ms.add(queue_wait.ms());
+  report.service_ms.add(service.ms());
+  report.batch_size.add(double(batch));
+  if (e2e <= config.slo) ++report.within_slo;
+  ServerState& from = servers[server];
+  from.queue_ms.add(queue_wait.ms());
+  if (from.networked) {
+    energy_sum.uplink_j += uplink_j;
+    energy_sum.downlink_j += downlink_j;
+    energy_sum.wait_j += config.energy.radio.idle_watts *
+                         std::max(0.0, (e2e - tx_rx_airtime).sec());
+    energy_sum.server_compute_j += from.compute_j_by_batch[batch];
+  } else {
+    energy_sum.device_compute_j += from.compute_j_by_batch[batch];
+  }
+  if (sim.now() > makespan) makespan = sim.now();
+  slab.state[slot] = RequestSlab::State::kDone;
+}
+
+}  // namespace
+
+FleetStudy::Report FleetStudy::run(const Config& config) {
+  SIXG_ASSERT(!config.servers.empty(), "a fleet needs at least one server");
+  SIXG_ASSERT(config.arrivals_per_second > 0.0,
+              "arrival rate must be positive");
+  SIXG_ASSERT(config.requests >= 1, "need at least one request");
+
+  Report report;
+  report.e2e_q = stats::ReservoirQuantile{config.quantile_cap,
+                                          derive_seed(config.seed, 0xf95e)};
+  report.e2e_hist.emplace(0.0, config.hist_hi_ms, config.hist_bins);
+
+  FleetEngine engine{config, report};
+  engine.servers.reserve(config.servers.size());
+  for (std::uint32_t k = 0; k < config.servers.size(); ++k) {
+    const ServerSpec& spec = config.servers[k];
+    SIXG_ASSERT(static_cast<bool>(spec.uplink) ==
+                    static_cast<bool>(spec.downlink),
+                "per-server uplink and downlink samplers must be set "
+                "together");
+    SIXG_ASSERT(!static_cast<bool>(spec.uplink) ||
+                    spec.tier != ExecutionTier::kDevice,
+                "the device tier is on-device: no network samplers");
+    FleetEngine::ServerState state;
+    state.spec = &spec;
+    state.networked = static_cast<bool>(spec.uplink);
+    state.server = std::make_unique<AcceleratorServer>(
+        engine.sim, spec.accelerator, config.model, spec.batching);
+    state.server->set_completion_sink(
+        [&engine, k](std::uint32_t slot, std::uint64_t payload,
+                     const AcceleratorServer::Completion& completion) {
+          engine.on_complete(k, slot, payload, completion);
+        });
+    state.compute_j_by_batch.resize(std::size_t{1} + spec.batching.max_batch);
+    for (std::uint32_t b = 1; b <= spec.batching.max_batch; ++b) {
+      state.compute_j_by_batch[b] =
+          spec.accelerator.batch_joules(config.model, b) / double(b);
+    }
+    engine.servers.push_back(std::move(state));
+  }
+  // Tier-affine preference groups in fixed edge -> cloud -> device order.
+  for (const ExecutionTier tier :
+       {ExecutionTier::kEdge, ExecutionTier::kCloud, ExecutionTier::kDevice}) {
+    for (std::uint32_t k = 0; k < config.servers.size(); ++k) {
+      if (config.servers[k].tier == tier) engine.tier_order.push_back(k);
+    }
+    engine.tier_group_end.push_back(std::uint32_t(engine.tier_order.size()));
+  }
+
+  const Duration first = Duration::from_seconds_f(
+      engine.interarrival.sample(engine.arrival_rng));
+  engine.sim.schedule_at(TimePoint{} + first, FleetArrivalEvent{&engine, 0});
+  engine.sim.run();
+
+  for (std::uint32_t k = 0; k < engine.servers.size(); ++k) {
+    const FleetEngine::ServerState& state = engine.servers[k];
+    ServerStats stats;
+    if (state.spec->name.empty()) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%s-%u", to_string(state.spec->tier), k);
+      stats.name = buf;
+    } else {
+      stats.name = state.spec->name;
+    }
+    stats.tier = state.spec->tier;
+    stats.dispatched = state.dispatched;
+    stats.completed = state.server->completed();
+    stats.dropped = state.server->dropped();
+    stats.batches = state.server->batches_launched();
+    stats.mean_batch_size = state.server->mean_batch_size();
+    stats.queue_ms = state.queue_ms;
+    report.servers.push_back(std::move(stats));
+    report.completed += state.server->completed();
+    report.dropped += state.server->dropped();
+    report.batches += state.server->batches_launched();
+  }
+  if (report.completed > 0) {
+    engine.energy_sum /= double(report.completed);
+    report.mean_energy = engine.energy_sum;
+  }
+  const double makespan_sec = (engine.makespan - TimePoint{}).sec();
+  if (makespan_sec > 0.0)
+    report.throughput_per_s = double(report.completed) / makespan_sec;
+  return report;
+}
+
+}  // namespace sixg::edgeai

@@ -1,0 +1,119 @@
+/// @file fleet.hpp — fleet-scale inference serving: one open request
+/// stream dispatched across N heterogeneous AcceleratorServers
+/// (device/edge/cloud tiers) on a single simulator timeline. This is the
+/// "many users contending for a small pool of accelerators" regime of
+/// Letaief et al. and Merluzzi et al., built directly on the request
+/// slab: the engine streams its report (histogram + capped reservoir)
+/// and chains arrivals, so a multi-million-request city run is O(slab +
+/// bins) memory and allocation-free per request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "edgeai/accelerator.hpp"
+#include "edgeai/energy.hpp"
+#include "edgeai/model.hpp"
+#include "edgeai/offload.hpp"
+#include "edgeai/serving.hpp"
+#include "stats/histogram.hpp"
+#include "stats/reservoir.hpp"
+#include "stats/summary.hpp"
+
+namespace sixg::edgeai {
+
+/// How an arriving request picks its server.
+enum class DispatchPolicy : std::uint8_t {
+  kRoundRobin,         ///< rotate through the fleet, load-blind
+  kJoinShortestQueue,  ///< least queued+executing work; ties -> lowest index
+  /// Prefer the lowest-latency tier (edge, then cloud, then device):
+  /// join-shortest-queue within the preferred tier, spilling to the next
+  /// tier once every server there has at least `tier_spill_depth`
+  /// requests queued or executing.
+  kTierAffine,
+};
+
+[[nodiscard]] const char* to_string(DispatchPolicy policy);
+
+/// Runs one fleet-serving workload on one simulator timeline.
+class FleetStudy {
+ public:
+  using DelaySampler = ServingStudy::DelaySampler;
+
+  /// One server of the fleet. Network samplers are per server (the hop
+  /// to an edge site differs from the WAN detour to a cloud region);
+  /// both set or both null (on-device tier), as in ServingStudy.
+  struct ServerSpec {
+    std::string name;  ///< row label; defaults to "tier-N" when empty
+    AcceleratorProfile accelerator = AcceleratorProfile::edge_gpu();
+    AcceleratorServer::BatchingConfig batching;
+    ExecutionTier tier = ExecutionTier::kEdge;
+    DelaySampler uplink;
+    DelaySampler downlink;
+  };
+
+  struct Config {
+    ModelProfile model = ModelZoo::at("det-base");
+    std::vector<ServerSpec> servers;
+    DispatchPolicy policy = DispatchPolicy::kJoinShortestQueue;
+    double arrivals_per_second = 4000.0;  ///< Poisson open-loop city load
+    std::uint32_t requests = 100000;
+    InferenceEnergyModel::Config energy;
+    /// Latency SLO the report scores attainment against (exact count,
+    /// not a histogram read).
+    Duration slo = Duration::from_millis_f(20.0);
+    /// kTierAffine spills to the next tier at this per-server load.
+    std::uint32_t tier_spill_depth = 16;
+    std::uint64_t seed = 1;
+    /// Streaming-report shape (see ServingStudy::Config).
+    double hist_hi_ms = 250.0;
+    std::size_t hist_bins = 500;
+    std::size_t quantile_cap = stats::ReservoirQuantile::kDefaultCap;
+  };
+
+  /// Per-server slice of the fleet report.
+  struct ServerStats {
+    std::string name;
+    ExecutionTier tier = ExecutionTier::kEdge;
+    std::uint64_t dispatched = 0;  ///< requests routed to this server
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t batches = 0;
+    double mean_batch_size = 0.0;
+    stats::Summary queue_ms;  ///< queue wait of its completed requests
+  };
+
+  struct Report {
+    stats::Summary e2e_ms;
+    stats::ReservoirQuantile e2e_q;
+    stats::Summary network_ms;
+    stats::Summary queue_ms;
+    stats::Summary service_ms;
+    stats::Summary batch_size;
+    std::optional<stats::Histogram> e2e_hist;
+
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t batches = 0;
+    double throughput_per_s = 0.0;
+    EnergyBreakdown mean_energy;  ///< per completed request
+
+    /// Completed requests with e2e <= Config::slo, exactly counted.
+    std::uint64_t within_slo = 0;
+    /// within_slo over *offered* requests: drops miss the SLO too.
+    [[nodiscard]] double slo_attainment() const {
+      const std::uint64_t offered = completed + dropped;
+      return offered == 0 ? 0.0 : double(within_slo) / double(offered);
+    }
+
+    std::vector<ServerStats> servers;
+  };
+
+  /// Pure function of the config (determinism contract): same config ->
+  /// same report, independent of wall clock and thread count.
+  [[nodiscard]] static Report run(const Config& config);
+};
+
+}  // namespace sixg::edgeai

@@ -3,26 +3,230 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "edgeai/request_slab.hpp"
 #include "netsim/simulator.hpp"
 #include "stats/distributions.hpp"
 
 namespace sixg::edgeai {
 
 double ServingStudy::Report::within(Duration budget) const {
-  if (e2e_samples_ms.empty()) return 0.0;
-  if (sorted_e2e_ms_.size() == e2e_samples_ms.size()) {
+  if (!e2e_samples_ms.empty()) {
+    SIXG_ASSERT(sorted_e2e_ms_.size() == e2e_samples_ms.size(),
+                "within() needs finalize() after hand-filling e2e_samples_ms");
     const auto end = std::upper_bound(sorted_e2e_ms_.begin(),
                                       sorted_e2e_ms_.end(), budget.ms());
     return double(end - sorted_e2e_ms_.begin()) /
            double(sorted_e2e_ms_.size());
   }
-  // Hand-assembled reports (no run() snapshot): plain scan. No caching
-  // here — within() stays a pure read, safe for concurrent callers.
-  std::uint64_t ok = 0;
-  for (const double ms : e2e_samples_ms)
-    if (ms <= budget.ms()) ++ok;
-  return double(ok) / double(e2e_samples_ms.size());
+  // Streamed report: answer from the histogram CDF (interpolated inside
+  // the containing bin — approximate at sub-bin granularity). Budgets at
+  // or beyond the histogram range clamp to the range end: overflow
+  // samples sit somewhere above `hist_hi_ms`, so this is the sharpest
+  // LOWER bound available, never a fabricated 100 %.
+  if (e2e_hist && e2e_hist->count() > 0) {
+    const double hi = e2e_hist->bin_hi(e2e_hist->bin_count() - 1);
+    return e2e_hist->cdf(std::min(budget.ms(), hi));
+  }
+  return 0.0;
 }
+
+void ServingStudy::Report::finalize() {
+  sorted_e2e_ms_ = e2e_samples_ms;
+  std::sort(sorted_e2e_ms_.begin(), sorted_e2e_ms_.end());
+}
+
+namespace {
+
+/// One ServingStudy run's mutable state. Events carry {engine, slot}
+/// (plus hop-local durations) in their inline capture; everything that
+/// must survive from arrival to record lives in the slab.
+struct ServingEngine {
+  const ServingStudy::Config& config;
+  netsim::Simulator sim;
+  AcceleratorServer server;
+  InferenceEnergyModel energy;
+  bool networked;
+  Duration up_airtime;
+  Duration down_airtime;
+
+  // Independent derived streams: arrivals, uplink and downlink draws
+  // cannot shift each other (determinism contract rule 2).
+  Rng arrival_rng;
+  Rng uplink_rng;
+  Rng downlink_rng;
+  stats::ShiftedExponential interarrival;
+
+  RequestSlab slab;
+  ServingStudy::Report& report;
+  EnergyBreakdown energy_sum;
+  TimePoint makespan;
+
+  /// Per-request energy terms that depend only on the batch size,
+  /// computed once per batch size instead of once per request. The
+  /// tabulated values come from the exact expressions
+  /// InferenceEnergyModel::offloaded evaluates, in the same order, so
+  /// the accumulated breakdown is bit-identical to per-call evaluation.
+  std::vector<double> server_compute_j_by_batch;  ///< [1..max_batch]
+  double uplink_j = 0.0;
+  double downlink_j = 0.0;
+  double idle_watts = 0.0;
+  Duration tx_rx_airtime;  ///< tx + rx share subtracted from the wait
+
+  ServingEngine(const ServingStudy::Config& cfg, ServingStudy::Report& rep)
+      : config(cfg),
+        sim(cfg.seed),
+        server(sim, cfg.accelerator, cfg.model, cfg.batching),
+        energy(cfg.energy),
+        networked(static_cast<bool>(cfg.uplink)),
+        up_airtime(networked ? energy.uplink_airtime(cfg.model) : Duration{}),
+        down_airtime(networked ? energy.downlink_airtime(cfg.model)
+                               : Duration{}),
+        arrival_rng(derive_seed(cfg.seed, 0xa221)),
+        uplink_rng(derive_seed(cfg.seed, 0x0b11)),
+        downlink_rng(derive_seed(cfg.seed, 0xd011)),
+        interarrival(0.0, 1.0 / cfg.arrivals_per_second),
+        report(rep) {
+    slab.resize(cfg.requests);
+    server_compute_j_by_batch.resize(std::size_t{1} + cfg.batching.max_batch);
+    for (std::uint32_t b = 1; b <= cfg.batching.max_batch; ++b) {
+      server_compute_j_by_batch[b] =
+          cfg.accelerator.batch_joules(cfg.model, b) / double(b);
+    }
+    if (networked) {
+      const Duration tx = energy.uplink_airtime(cfg.model);
+      const Duration rx = energy.downlink_airtime(cfg.model);
+      uplink_j = cfg.energy.radio.tx_watts * tx.sec();
+      downlink_j = cfg.energy.radio.rx_watts * rx.sec();
+      idle_watts = cfg.energy.radio.idle_watts;
+      tx_rx_airtime = tx + rx;
+    }
+  }
+
+  void on_arrival(std::uint32_t slot);
+  void on_submit(std::uint32_t slot, Duration up);
+  void on_complete(std::uint32_t slot, std::uint64_t up_ns,
+                   const AcceleratorServer::Completion& completion);
+  void on_record(std::uint32_t slot, std::uint32_t batch, Duration net,
+                 Duration queue_wait, Duration service);
+};
+
+/// Index-carrying events: small trivially-movable functors that fit the
+/// kernel's 48-byte inline action storage by construction.
+struct ArrivalEvent {
+  ServingEngine* engine;
+  std::uint32_t slot;
+  void operator()() const { engine->on_arrival(slot); }
+};
+static_assert(sizeof(ArrivalEvent) <= netsim::InplaceAction::kInlineBytes);
+
+struct SubmitEvent {
+  ServingEngine* engine;
+  std::uint32_t slot;
+  Duration up;
+  void operator()() const { engine->on_submit(slot, up); }
+};
+static_assert(sizeof(SubmitEvent) <= netsim::InplaceAction::kInlineBytes);
+
+struct RecordEvent {
+  ServingEngine* engine;
+  std::uint32_t slot;
+  std::uint32_t batch;
+  Duration net;
+  Duration queue_wait;
+  Duration service;
+  void operator()() const {
+    engine->on_record(slot, batch, net, queue_wait, service);
+  }
+};
+static_assert(sizeof(RecordEvent) <= netsim::InplaceAction::kInlineBytes);
+
+void ServingEngine::on_arrival(std::uint32_t slot) {
+  if (config.chained_arrivals && slot + 1 < config.requests) {
+    // Chain the next arrival first: at an exact time tie this keeps the
+    // arrival ahead of this request's serving events, the prescheduled
+    // relative order.
+    const Duration delta =
+        Duration::from_seconds_f(interarrival.sample(arrival_rng));
+    sim.schedule_at(sim.now() + delta, ArrivalEvent{this, slot + 1});
+  }
+  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kScheduled,
+              "arrival fired twice for one slot");
+  slab.state[slot] = RequestSlab::State::kUplink;
+  slab.device_start[slot] = sim.now();
+  const Duration up =
+      networked ? config.uplink(uplink_rng) + up_airtime : Duration{};
+  if (up.is_zero() && config.chained_arrivals) {
+    // On-device serving in the chained (million-request) mode: the
+    // submit would fire at this very tick, so enqueue inline. This can
+    // reorder same-tick events relative to the prescheduled mode — the
+    // caveat chained_arrivals already documents — and saves a kernel
+    // round trip per request.
+    on_submit(slot, up);
+    return;
+  }
+  sim.schedule_after(up, SubmitEvent{this, slot, up});
+}
+
+void ServingEngine::on_submit(std::uint32_t slot, Duration up) {
+  if (server.submit(slot, std::uint64_t(up.ns()))) {
+    slab.state[slot] = RequestSlab::State::kQueued;
+  } else {
+    slab.state[slot] = RequestSlab::State::kDropped;  // counted by the server
+  }
+}
+
+void ServingEngine::on_complete(
+    std::uint32_t slot, std::uint64_t up_ns,
+    const AcceleratorServer::Completion& completion) {
+  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kQueued,
+              "completion for a slot that is not queued");
+  slab.state[slot] = RequestSlab::State::kDownlink;
+  const Duration down =
+      networked ? config.downlink(downlink_rng) + down_airtime : Duration{};
+  const Duration net = Duration::nanos(std::int64_t(up_ns)) + down;
+  if (down.is_zero()) {
+    // A zero-length downlink would fire at this very tick, and the
+    // record step is pure accounting (no RNG, no scheduling, no server
+    // state) — it commutes with every other same-tick event, so running
+    // it inline is byte-identical and saves the kernel round trip.
+    on_record(slot, completion.batch_size, net, completion.queue_wait(),
+              completion.service());
+    return;
+  }
+  sim.schedule_after(
+      down, RecordEvent{this, slot, completion.batch_size, net,
+                        completion.queue_wait(), completion.service()});
+}
+
+void ServingEngine::on_record(std::uint32_t slot, std::uint32_t batch,
+                              Duration net, Duration queue_wait,
+                              Duration service) {
+  const Duration e2e = sim.now() - slab.device_start[slot];
+  report.e2e_ms.add(e2e.ms());
+  report.e2e_q.add(e2e.ms());
+  if (config.retain_samples) report.e2e_samples_ms.push_back(e2e.ms());
+  report.e2e_hist->add(e2e.ms());
+  report.network_ms.add(net.ms());
+  report.queue_ms.add(queue_wait.ms());
+  report.service_ms.add(service.ms());
+  report.batch_size.add(double(batch));
+  // The tabulated form of InferenceEnergyModel::offloaded / the local
+  // batch-amortised compute: identical expressions, evaluated once per
+  // batch size at engine construction.
+  if (networked) {
+    energy_sum.uplink_j += uplink_j;
+    energy_sum.downlink_j += downlink_j;
+    energy_sum.wait_j +=
+        idle_watts * std::max(0.0, (e2e - tx_rx_airtime).sec());
+    energy_sum.server_compute_j += server_compute_j_by_batch[batch];
+  } else {
+    energy_sum.device_compute_j += server_compute_j_by_batch[batch];
+  }
+  if (sim.now() > makespan) makespan = sim.now();
+  slab.state[slot] = RequestSlab::State::kDone;
+}
+
+}  // namespace
 
 ServingStudy::Report ServingStudy::run(const Config& config) {
   SIXG_ASSERT(config.arrivals_per_second > 0.0, "arrival rate must be positive");
@@ -32,93 +236,51 @@ ServingStudy::Report ServingStudy::run(const Config& config) {
               "uplink and downlink samplers must be set together: latency "
               "and energy accounting both key on the pair");
 
-  netsim::Simulator sim{config.seed};
-  AcceleratorServer server{sim, config.accelerator, config.model,
-                           config.batching};
-  const InferenceEnergyModel energy{config.energy};
-  const bool networked = static_cast<bool>(config.uplink);
-  // The payload still pays serialisation at the access link even though
-  // the propagation part comes from the sampler.
-  const Duration up_airtime =
-      networked ? energy.uplink_airtime(config.model) : Duration{};
-  const Duration down_airtime =
-      networked ? energy.downlink_airtime(config.model) : Duration{};
-
-  // Independent derived streams: arrivals, uplink and downlink draws
-  // cannot shift each other (determinism contract rule 2).
-  Rng arrival_rng{derive_seed(config.seed, 0xa221)};
-  Rng uplink_rng{derive_seed(config.seed, 0x0b11)};
-  Rng downlink_rng{derive_seed(config.seed, 0xd011)};
-
   Report report;
-  report.e2e_samples_ms.reserve(config.requests);
-  EnergyBreakdown energy_sum;
-  TimePoint makespan;
+  // The quantile reservoir draws from its own seed-derived stream (and
+  // only once past the cap), so it can never shift the serving draws.
+  report.e2e_q = stats::ReservoirQuantile{config.quantile_cap,
+                                          derive_seed(config.seed, 0x9e5e)};
+  report.e2e_hist.emplace(0.0, config.hist_hi_ms, config.hist_bins);
+  if (config.retain_samples) report.e2e_samples_ms.reserve(config.requests);
 
-  // Poisson arrivals: exponential inter-arrival times.
-  const stats::ShiftedExponential interarrival{
-      0.0, 1.0 / config.arrivals_per_second};
-
-  // Pre-compute the arrival schedule; each arrival event then draws its
-  // own network delays in event order (single-threaded kernel -> the
-  // draw order is the arrival order, always).
-  Duration at;
-  for (std::uint32_t i = 0; i < config.requests; ++i) {
-    at += Duration::from_seconds_f(interarrival.sample(arrival_rng));
-    sim.schedule_at(TimePoint{} + at, [&, id = std::uint64_t(i)] {
-      const TimePoint device_start = sim.now();
-      const Duration up =
-          networked ? config.uplink(uplink_rng) + up_airtime : Duration{};
-      sim.schedule_after(up, [&, id, device_start, up] {
-        const bool accepted = server.submit(
-            id, [&, device_start, up](const AcceleratorServer::Completion& c) {
-              const Duration down =
-                  config.downlink ? config.downlink(downlink_rng) + down_airtime
-                                  : Duration{};
-              sim.schedule_after(down, [&, device_start, up, down, c] {
-                const Duration e2e = sim.now() - device_start;
-                report.e2e_ms.add(e2e.ms());
-                report.e2e_q.add(e2e.ms());
-                report.e2e_samples_ms.push_back(e2e.ms());
-                report.network_ms.add((up + down).ms());
-                report.queue_ms.add(c.queue_wait().ms());
-                report.service_ms.add(c.service().ms());
-                report.batch_size.add(double(c.batch_size));
-                if (networked) {
-                  energy_sum += energy.offloaded(config.model,
-                                                 config.accelerator, e2e,
-                                                 c.batch_size);
-                } else {
-                  EnergyBreakdown local;
-                  local.device_compute_j =
-                      config.accelerator.batch_joules(config.model,
-                                                      c.batch_size) /
-                      double(c.batch_size);
-                  energy_sum += local;
-                }
-                if (sim.now() > makespan) makespan = sim.now();
-              });
-            });
-        (void)accepted;  // drops are counted by the server
+  ServingEngine engine{config, report};
+  engine.server.set_completion_sink(
+      [&engine](std::uint32_t slot, std::uint64_t payload,
+                const AcceleratorServer::Completion& completion) {
+        engine.on_complete(slot, payload, completion);
       });
-    });
+
+  if (config.chained_arrivals) {
+    const Duration first = Duration::from_seconds_f(
+        engine.interarrival.sample(engine.arrival_rng));
+    engine.sim.schedule_at(TimePoint{} + first, ArrivalEvent{&engine, 0});
+  } else {
+    // Legacy order: preschedule every arrival so arrival events take the
+    // lowest kernel sequence numbers (ties resolve exactly as before the
+    // slab refactor).
+    Duration at;
+    for (std::uint32_t i = 0; i < config.requests; ++i) {
+      at += Duration::from_seconds_f(
+          engine.interarrival.sample(engine.arrival_rng));
+      engine.sim.schedule_at(TimePoint{} + at, ArrivalEvent{&engine, i});
+    }
   }
 
-  sim.run();
+  engine.sim.run();
 
-  report.completed = server.completed();
-  report.dropped = server.dropped();
-  report.batches = server.batches_launched();
+  report.completed = engine.server.completed();
+  report.dropped = engine.server.dropped();
+  report.batches = engine.server.batches_launched();
   if (report.completed > 0) {
-    energy_sum /= double(report.completed);
-    report.mean_energy = energy_sum;
+    engine.energy_sum /= double(report.completed);
+    report.mean_energy = engine.energy_sum;
   }
-  const double makespan_sec = (makespan - TimePoint{}).sec();
+  const double makespan_sec = (engine.makespan - TimePoint{}).sec();
   if (makespan_sec > 0.0)
     report.throughput_per_s = double(report.completed) / makespan_sec;
   // Samples are final here: take the sorted snapshot within() probes.
-  report.sorted_e2e_ms_ = report.e2e_samples_ms;
-  std::sort(report.sorted_e2e_ms_.begin(), report.sorted_e2e_ms_.end());
+  report.finalize();
   return report;
 }
 

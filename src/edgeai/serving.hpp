@@ -3,10 +3,18 @@
 /// AcceleratorServer with dynamic batching, and returns; the study
 /// reports the latency decomposition, batching behaviour and per-request
 /// energy. One ServingStudy run = one Simulator timeline = one seed.
+///
+/// The request lifecycle runs on a preallocated RequestSlab with
+/// index-carrying kernel events (see docs/ARCHITECTURE.md "Serving hot
+/// path"): steady-state serving performs zero heap allocations per
+/// request, and the RNG draw order is contractually the legacy order
+/// (arrival, uplink and downlink streams are independent; uplink draws
+/// happen in arrival order, downlink draws in completion order).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -15,6 +23,7 @@
 #include "edgeai/energy.hpp"
 #include "edgeai/model.hpp"
 #include "stats/histogram.hpp"
+#include "stats/reservoir.hpp"
 #include "stats/summary.hpp"
 
 namespace sixg::edgeai {
@@ -40,15 +49,40 @@ class ServingStudy {
     DelaySampler uplink;    ///< request path towards the server
     DelaySampler downlink;  ///< response path back to the device
     std::uint64_t seed = 1;
+
+    /// Retain the raw per-request end-to-end samples (exact within(),
+    /// empirical samplers) — O(requests) report memory. Disable for
+    /// million-request runs: the report then streams into the histogram
+    /// and the capped reservoir, O(bins + cap) memory.
+    bool retain_samples = true;
+    /// Generate each arrival from the previous arrival's event instead
+    /// of prescheduling all of them: O(1) pending arrivals instead of
+    /// O(requests), the million-request mode. Off by default because the
+    /// kernel seq numbering differs from the legacy prescheduled order —
+    /// the RNG streams and event *times* are identical, so results only
+    /// diverge if an arrival lands on the exact same nanosecond as an
+    /// in-flight serving event (never observed; asserted equal across
+    /// seeds in tests).
+    bool chained_arrivals = false;
+    /// Streaming end-to-end histogram shape, [0, hist_hi_ms) in ms.
+    double hist_hi_ms = 250.0;
+    std::size_t hist_bins = 500;
+    /// Reservoir cap for e2e quantiles: exact below, sampled above.
+    std::size_t quantile_cap = stats::ReservoirQuantile::kDefaultCap;
   };
 
   struct Report {
     stats::Summary e2e_ms;      ///< device-to-device, completed requests
-    stats::QuantileSample e2e_q;
+    /// End-to-end quantiles: exact order statistics up to the configured
+    /// cap, reservoir-sampled beyond it (own RNG stream, seed-derived).
+    stats::ReservoirQuantile e2e_q;
     stats::Summary network_ms;  ///< uplink + downlink + airtime share
     stats::Summary queue_ms;    ///< accelerator queue wait
     stats::Summary service_ms;  ///< batch execution share
     stats::Summary batch_size;  ///< batch each completed request rode in
+
+    /// Streaming end-to-end distribution (ms); engaged by run().
+    std::optional<stats::Histogram> e2e_hist;
 
     std::uint64_t completed = 0;
     std::uint64_t dropped = 0;   ///< bounded-queue rejections
@@ -57,18 +91,26 @@ class ServingStudy {
     EnergyBreakdown mean_energy;    ///< per completed request
 
     /// Raw per-request end-to-end samples (ms), in completion order —
-    /// feeds empirical samplers (e.g. the AR frame loop).
+    /// feeds empirical samplers (e.g. the AR frame loop). Empty when the
+    /// run streamed (Config::retain_samples == false).
     std::vector<double> e2e_samples_ms;
 
-    /// Share of completed requests within `budget`. Reports produced by
-    /// run() carry a sorted snapshot of the samples, so probing many
-    /// budgets is one sort + a binary search per budget instead of one
-    /// scan per budget. Pure read: safe to call concurrently.
+    /// Share of completed requests within `budget`. With retained
+    /// samples this is exact: one binary search over the finalize()d
+    /// sorted snapshot. Streamed reports answer from the histogram CDF
+    /// (linear interpolation inside the containing bin; budgets beyond
+    /// `hist_hi_ms` clamp to the range end — a lower bound, since
+    /// overflow samples are only known to exceed the range). Pure
+    /// read: safe to call concurrently.
     [[nodiscard]] double within(Duration budget) const;
 
+    /// (Re)build the sorted snapshot within() searches. run() calls
+    /// this; hand-assembled reports must call it after filling
+    /// e2e_samples_ms — within() asserts the snapshot is current.
+    void finalize();
+
    private:
-    friend class ServingStudy;
-    std::vector<double> sorted_e2e_ms_;  ///< sorted snapshot from run()
+    std::vector<double> sorted_e2e_ms_;  ///< sorted snapshot, finalize()
   };
 
   /// Pure function of the config (determinism contract): same config ->

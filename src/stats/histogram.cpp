@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <sstream>
 
 #include "common/assert.hpp"
 
@@ -83,18 +82,28 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
-std::string Histogram::str(std::size_t max_bar) const {
+void Histogram::to(std::string& out, std::size_t max_bar) const {
   std::uint64_t peak = 1;
   for (auto c : counts_) peak = std::max(peak, c);
-  std::ostringstream out;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    char label[64];
-    std::snprintf(label, sizeof label, "[%8.2f, %8.2f)", bin_lo(i), bin_hi(i));
-    const auto bar = std::size_t(double(counts_[i]) / double(peak) *
-                                 double(max_bar));
-    out << label << ' ' << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+    char label[96];
+    const int len = std::snprintf(label, sizeof label, "[%8.2f, %8.2f) ",
+                                  bin_lo(i), bin_hi(i));
+    if (len > 0) out.append(label, std::size_t(len));
+    out.append(std::size_t(double(counts_[i]) / double(peak) *
+                           double(max_bar)),
+               '#');
+    const int count_len = std::snprintf(label, sizeof label, " %llu\n",
+                                        static_cast<unsigned long long>(
+                                            counts_[i]));
+    if (count_len > 0) out.append(label, std::size_t(count_len));
   }
-  return out.str();
+}
+
+std::string Histogram::str(std::size_t max_bar) const {
+  std::string out;
+  to(out, max_bar);
+  return out;
 }
 
 void QuantileSample::merge(const QuantileSample& other) {
@@ -102,19 +111,23 @@ void QuantileSample::merge(const QuantileSample& other) {
   sorted_ = false;
 }
 
-double QuantileSample::quantile(double q) const {
-  SIXG_ASSERT(!data_.empty(), "quantile of empty sample");
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  SIXG_ASSERT(!sorted.empty(), "quantile of empty sample");
   SIXG_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * double(sorted.size() - 1);
+  const auto lo = std::size_t(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - double(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double QuantileSample::quantile(double q) const {
   if (!sorted_) {
     std::sort(data_.begin(), data_.end());
     sorted_ = true;
   }
-  if (data_.size() == 1) return data_[0];
-  const double pos = q * double(data_.size() - 1);
-  const auto lo = std::size_t(pos);
-  const auto hi = std::min(lo + 1, data_.size() - 1);
-  const double frac = pos - double(lo);
-  return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+  return sorted_quantile(data_, q);
 }
 
 }  // namespace sixg::stats

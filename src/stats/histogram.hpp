@@ -33,6 +33,8 @@ class Histogram {
 
   /// ASCII rendering (one row per bin with a proportional bar).
   [[nodiscard]] std::string str(std::size_t max_bar = 50) const;
+  /// Append the str() rendering to `out` without intermediate strings.
+  void to(std::string& out, std::size_t max_bar = 50) const;
 
  private:
   double lo_;
@@ -43,6 +45,14 @@ class Histogram {
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
 };
+
+/// q in [0,1] over an already-sorted, non-empty sample: linear
+/// interpolation between order statistics. The ONE interpolation rule
+/// shared by QuantileSample and ReservoirQuantile — the streaming
+/// migration's "exact below cap" contract is bit-equality of the two,
+/// so they must evaluate the same expression.
+[[nodiscard]] double sorted_quantile(const std::vector<double>& sorted,
+                                     double q);
 
 /// Exact empirical quantiles from a retained sample vector. The campaign
 /// sizes in this project (1e3..1e6 samples) fit comfortably in memory, so

@@ -1,0 +1,41 @@
+#include "stats/reservoir.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "stats/histogram.hpp"
+
+namespace sixg::stats {
+
+ReservoirQuantile::ReservoirQuantile(std::size_t cap, std::uint64_t seed)
+    : cap_(cap), rng_(seed) {
+  SIXG_ASSERT(cap >= 1, "reservoir needs room for at least one sample");
+}
+
+void ReservoirQuantile::add(double x) {
+  ++seen_;
+  if (data_.size() < cap_) {
+    data_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: the new value displaces a uniformly random resident
+  // with probability cap/seen; every prefix stays a uniform sample.
+  const std::uint64_t j = rng_.uniform_int(seen_);
+  if (j < cap_) {
+    data_[j] = x;
+    sorted_ = false;
+  }
+}
+
+double ReservoirQuantile::quantile(double q) const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  // Shared interpolation rule: bit-equality with QuantileSample below
+  // the cap is a contract, not a coincidence.
+  return sorted_quantile(data_, q);
+}
+
+}  // namespace sixg::stats

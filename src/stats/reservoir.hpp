@@ -1,0 +1,55 @@
+/// @file reservoir.hpp — bounded-memory quantile sink: exact while the
+/// stream fits the cap, uniform reservoir sample (Vitter's Algorithm R)
+/// beyond it. This is what lets a million-request serving report keep
+/// O(cap) memory instead of retaining every end-to-end sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sixg::stats {
+
+/// Streaming quantile estimator over a capped sample buffer.
+///
+/// Below the cap it is bit-identical to the retain-everything
+/// QuantileSample (same storage order, same interpolation), which is what
+/// keeps small serving runs byte-stable across the streaming-report
+/// migration. Past the cap each new value replaces a uniformly random
+/// resident with probability cap/seen — the classic reservoir — using a
+/// private generator, so adding samples never perturbs any other
+/// deterministic stream.
+class ReservoirQuantile {
+ public:
+  /// 64Ki doubles (512 KiB): exact for every classic scenario sweep, and
+  /// a ±0.4 % p99 at a million samples.
+  static constexpr std::size_t kDefaultCap = std::size_t{1} << 16;
+
+  explicit ReservoirQuantile(std::size_t cap = kDefaultCap,
+                             std::uint64_t seed = 0x6e5e'0b5e'9d1e'55efULL);
+
+  void add(double x);
+
+  /// Values offered, including those that fell out of the reservoir.
+  [[nodiscard]] std::uint64_t count() const { return seen_; }
+  /// Values currently resident (== count() while exact).
+  [[nodiscard]] std::size_t sample_count() const { return data_.size(); }
+  [[nodiscard]] std::size_t cap() const { return cap_; }
+  /// True while no value has been evicted: quantiles are exact order
+  /// statistics, not estimates.
+  [[nodiscard]] bool exact() const { return seen_ <= cap_; }
+
+  /// q in [0,1]; linear interpolation between resident order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  std::size_t cap_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace sixg::stats

@@ -46,13 +46,18 @@ double Summary::sem() const {
   return stddev() / std::sqrt(double(n_));
 }
 
-std::string Summary::str() const {
+void Summary::to(std::string& out) const {
   char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "n=%llu mean=%.3f sd=%.3f min=%.3f max=%.3f",
-                static_cast<unsigned long long>(n_), mean(), stddev(), min(),
-                max());
-  return buf;
+  const int len = std::snprintf(
+      buf, sizeof buf, "n=%llu mean=%.3f sd=%.3f min=%.3f max=%.3f",
+      static_cast<unsigned long long>(n_), mean(), stddev(), min(), max());
+  if (len > 0) out.append(buf, std::size_t(len));
+}
+
+std::string Summary::str() const {
+  std::string out;
+  to(out);
+  return out;
 }
 
 }  // namespace sixg::stats

@@ -30,6 +30,9 @@ class Summary {
   [[nodiscard]] double sem() const;
 
   [[nodiscard]] std::string str() const;
+  /// Append the str() rendering to `out` without constructing a fresh
+  /// string — the form render loops should use.
+  void to(std::string& out) const;
 
  private:
   std::uint64_t n_ = 0;

@@ -237,6 +237,16 @@ TEST(TextTable, RendersAlignedColumns) {
   EXPECT_EQ(t.row_count(), 2u);
 }
 
+TEST(TextTable, BufferAppendMatchesStr) {
+  TextTable t{{"name", "value", "note"}};
+  t.set_align(1, TextTable::Align::kLeft);
+  t.add_row({"alpha", "1", "left-padded"});
+  t.add_row({"a-much-longer-name", "22222", "x"});
+  std::string buf = "before\n";
+  t.to(buf);
+  EXPECT_EQ(buf, "before\n" + t.str());
+}
+
 TEST(TextTable, CsvEscapesSpecialCharacters) {
   TextTable t{{"a", "b"}};
   t.add_row({"x,y", "quote\"inside"});

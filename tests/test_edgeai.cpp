@@ -393,14 +393,20 @@ TEST(ServingReport, WithinOnEmptyReportIsZero) {
   EXPECT_EQ(report.within(Duration::from_millis_f(10.0)), 0.0);
 }
 
-TEST(ServingReport, WithinOnHandAssembledReportScans) {
-  // Reports built outside run() have no sorted snapshot; within() must
-  // fall back to a plain scan and still be correct.
+TEST(ServingReport, WithinOnHandAssembledReportAfterFinalize) {
+  // Reports built outside run() populate their sorted snapshot through
+  // finalize(); within() then answers by binary search — the O(n) scan
+  // path no longer exists.
   ServingStudy::Report report;
   report.e2e_samples_ms = {5.0, 1.0, 9.0, 3.0, 7.0};
+  report.finalize();
   EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(4.0)), 0.4);
   EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(9.0)), 1.0);
   EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(0.5)), 0.0);
+  // Appending more samples re-stales the snapshot; finalize() refreshes.
+  report.e2e_samples_ms.push_back(2.0);
+  report.finalize();
+  EXPECT_DOUBLE_EQ(report.within(Duration::from_millis_f(4.0)), 0.5);
 }
 
 TEST(EdgeAiScenarios, RegisteredAndListed) {

@@ -9,6 +9,7 @@
 #include "stats/distributions.hpp"
 #include "stats/fast_math.hpp"
 #include "stats/histogram.hpp"
+#include "stats/reservoir.hpp"
 #include "stats/summary.hpp"
 
 namespace sixg::stats {
@@ -349,6 +350,80 @@ TEST(FastLog, SpecialValuesMatchLibmSemantics) {
   // Subnormals route through the fallback and stay finite.
   const double sub = std::numeric_limits<double>::denorm_min();
   EXPECT_NEAR(fast_log(sub), std::log(sub), 1e-12);
+}
+
+// ---------------------------------------------------------- reservoir
+
+TEST(ReservoirQuantile, ExactBelowCapMatchesRetainedSample) {
+  // Below the cap the reservoir IS the retain-everything sampler: same
+  // storage order, same interpolation, bit-identical quantiles.
+  ReservoirQuantile r{256, 1};
+  QuantileSample exact;
+  Rng rng{9};
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 50.0);
+    r.add(x);
+    exact.add(x);
+  }
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.count(), 200u);
+  EXPECT_EQ(r.sample_count(), 200u);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(r.quantile(q), exact.quantile(q)) << q;
+  }
+}
+
+TEST(ReservoirQuantile, CappedStreamStaysBoundedAndAccurate) {
+  ReservoirQuantile r{2048, 7};
+  Rng rng{13};
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) r.add(rng.uniform(0.0, 1.0));
+  EXPECT_FALSE(r.exact());
+  EXPECT_EQ(r.count(), std::uint64_t(kSamples));
+  EXPECT_EQ(r.sample_count(), 2048u);
+  // A uniform stream: the sampled quantiles must track the true ones.
+  EXPECT_NEAR(r.quantile(0.5), 0.5, 0.05);
+  EXPECT_NEAR(r.quantile(0.9), 0.9, 0.05);
+  EXPECT_NEAR(r.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(ReservoirQuantile, DeterministicForFixedSeed) {
+  ReservoirQuantile a{128, 3};
+  ReservoirQuantile b{128, 3};
+  ReservoirQuantile other_seed{128, 4};
+  Rng rng{21};
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    a.add(x);
+    b.add(x);
+    other_seed.add(x);
+  }
+  EXPECT_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
+  // A different eviction stream keeps different residents.
+  EXPECT_NE(a.quantile(0.5), other_seed.quantile(0.5));
+}
+
+// -------------------------------------------------- buffer renderers
+
+TEST(BufferRenderers, SummaryAndHistogramAppendMatchStr) {
+  Summary s;
+  Histogram h{0.0, 10.0, 8};
+  Rng rng{2};
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1.0, 12.0);
+    s.add(x);
+    h.add(x);
+  }
+  std::string buf = "prefix:";
+  s.to(buf);
+  EXPECT_EQ(buf, "prefix:" + s.str());
+  buf.clear();
+  h.to(buf);
+  EXPECT_EQ(buf, h.str());
+  buf.clear();
+  h.to(buf, 10);
+  EXPECT_EQ(buf, h.str(10));
 }
 
 TEST(FastLog, ShiftedExponentialUsesTheSharedKernel) {
