@@ -1,0 +1,13 @@
+// North-star sharded fleet serving: the city split into pods, one
+// conservative-window timeline per pod (window = the inter-pod
+// compiled-path latency floor), 10 % cross-pod traffic through the
+// barrier mailboxes — SLO attainment and worker-count byte-invariance
+// as the city grows.
+
+#include "bench_util.hpp"
+
+// The logic lives in src/core/scenarios.cpp as the registered
+// scenario "city-serving-sharded"; this binary is its standalone shim.
+int main(int argc, char** argv) {
+  return sixg::bench::run_scenario_main("city-serving-sharded", argc, argv);
+}

@@ -1696,6 +1696,113 @@ ScenarioResult fleet_dispatch_ablation(const RunContext& ctx) {
   return r;
 }
 
+ScenarioResult city_serving_sharded(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto conditions = study.rem().at(*study.grid().parse_label("C2"));
+  topo::EuropeOptions fixed;
+  fixed.local_breakout = true;
+  fixed.local_peering = true;
+  const auto peered = topo::build_europe(fixed);
+  const radio::RadioLinkModel access{radio::AccessProfile::sixg()};
+  const auto edge_path =
+      peered.net.find_path(peered.mobile_ue, peered.university_probe);
+  // The inter-pod backbone: the Klagenfurt -> Vienna transit chain. Its
+  // deterministic latency floor is the sharded kernel's lookahead — the
+  // conservative window is exactly CompiledPath::min_latency, so every
+  // cross-pod message physically cannot arrive before the next barrier.
+  const auto interpod = peered.net.compile(
+      peered.net.find_path(peered.university_probe, peered.cloud_vienna));
+  SIXG_ASSERT(interpod.valid(), "inter-pod backbone path must route");
+  const Duration window = interpod.min_latency();
+
+  // Each pod is the "tight" point of city-serving: 12k req/s of det-base
+  // against 3 edge GPUs. Pods add load AND capacity, so the sweep scales
+  // the city, not the headroom; 10 % of arrivals are served by a remote
+  // pod across the backbone.
+  constexpr double kPodLoad = 12000.0;
+  constexpr std::uint32_t kRequestsPerPod = 250000;
+  constexpr double kRemoteFraction = 0.10;
+  const std::uint64_t base_seed = derive_seed(ctx.seed, 0x5a4d);
+
+  const auto sharded_config = [&](std::uint32_t pods, unsigned workers,
+                                  std::uint32_t requests_per_pod) {
+    edgeai::ShardedFleetStudy::Config config;
+    config.shard.model = edgeai::ModelZoo::at("det-base");
+    config.shard.policy = edgeai::DispatchPolicy::kJoinShortestQueue;
+    config.shard.arrivals_per_second = kPodLoad;
+    config.shard.requests = requests_per_pod;
+    config.shard.slo = Duration::from_millis_f(20.0);
+    config.shard.energy.uplink = DataRate::gbps(2);
+    config.shard.energy.downlink = DataRate::gbps(4);
+    config.shard.seed = base_seed;
+    for (std::size_t s = 0; s < 3; ++s) {
+      config.shard.servers.push_back(
+          edge_server_spec(access, conditions, peered, edge_path));
+    }
+    config.shards = pods;
+    config.workers = workers;
+    config.window = window;
+    config.remote_fraction = kRemoteFraction;
+    config.remote_uplink = [interpod](Rng& rng) {
+      return interpod.sample_one_way(rng);
+    };
+    config.remote_downlink = [interpod](Rng& rng) {
+      return interpod.sample_one_way(rng);
+    };
+    return config;
+  };
+
+  const std::uint32_t pod_counts[] = {1, 2, 4};
+  std::vector<edgeai::ShardedFleetStudy::Report> reports;
+  for (const std::uint32_t pods : pod_counts) {
+    reports.push_back(edgeai::ShardedFleetStudy::run(
+        sharded_config(pods, ctx.threads, kRequestsPerPod)));
+  }
+
+  TextTable t{{"Pods", "Offered (/s)", "<= 20 ms SLO", "Mean (ms)",
+               "p99 (ms)", "Remote", "Windows", "Throughput (/s)"}};
+  for (std::size_t i = 0; i < std::size(pod_counts); ++i) {
+    const auto& rep = reports[i];
+    t.add_row({TextTable::integer(std::int64_t(pod_counts[i])),
+               TextTable::num(kPodLoad * pod_counts[i], 0),
+               TextTable::num(rep.slo_attainment() * 100.0, 1) + " %",
+               TextTable::num(rep.e2e_ms.mean(), 2),
+               TextTable::num(rep.e2e_q.quantile(0.99), 2),
+               TextTable::integer(std::int64_t(rep.remote_requests)),
+               TextTable::integer(std::int64_t(rep.windows)),
+               TextTable::num(rep.throughput_per_s, 0)});
+  }
+  r.add_table(
+      std::move(t),
+      strf("Sharded city serving: N pods x %.0fk req/s det-base, 3 edge "
+           "GPUs/pod, %.0f %% remote via the backbone (window %.2f ms):",
+           kPodLoad / 1000.0, kRemoteFraction * 100.0, window.ms()));
+
+  // The determinism contract, demonstrated in-run: the same sharded
+  // config digests identically at 1 and 4 worker threads.
+  auto invariance = sharded_config(2, 1, 100000);
+  const std::uint64_t serial_digest =
+      edgeai::fleet_report_digest(edgeai::ShardedFleetStudy::run(invariance));
+  invariance.workers = 4;
+  const std::uint64_t wide_digest =
+      edgeai::fleet_report_digest(edgeai::ShardedFleetStudy::run(invariance));
+
+  r.add_anchor("worker-count invariance (digest match, 1 vs 4 workers)",
+               serial_digest == wide_digest ? 1.0 : 0.0,
+               "fixed shard count => byte-identical at any worker count");
+  r.add_anchor("conservative window (ms)", window.ms(),
+               "backbone latency floor = the kernel's lookahead");
+  r.add_anchor("SLO attainment at 4 pods (%)",
+               reports[2].slo_attainment() * 100.0,
+               "sharding scales the city without losing the SLO story");
+  r.add_anchor("remote share at 4 pods (%)",
+               100.0 * double(reports[2].remote_requests) /
+                   double(reports[2].completed + reports[2].dropped),
+               "cross-pod traffic actually exercises the mailboxes");
+  return r;
+}
+
 }  // namespace
 
 std::size_t register_paper_scenarios(ScenarioRegistry& registry) {
@@ -1757,6 +1864,9 @@ std::size_t register_paper_scenarios(ScenarioRegistry& registry) {
       {"fleet-dispatch-ablation", "North star (fleet serving)",
        "dispatch policy x fleet size, edge GPUs + cloud backstop",
        fleet_dispatch_ablation},
+      {"city-serving-sharded", "North star (sharded fleet)",
+       "multi-pod city serving on conservative-window sharded timelines",
+       city_serving_sharded},
   };
   std::size_t added = 0;
   for (const auto& scenario : all) {

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "edgeai/request_slab.hpp"
+#include "netsim/sharded.hpp"
 #include "netsim/simulator.hpp"
 #include "stats/distributions.hpp"
 
@@ -27,14 +29,37 @@ const char* to_string(DispatchPolicy policy) {
 
 namespace {
 
-/// One FleetStudy run's mutable state: the shared slab, the server pool
-/// and the dispatch machinery. Same event discipline as ServingEngine
-/// in serving.cpp — index-carrying inline captures, zero per-request
-/// allocations — with the server index riding along. The two engines
-/// are deliberately separate (ServingEngine is pinned to the legacy
-/// byte-identity contract; this one adds dispatch, per-server
-/// accounting and an SLO counter), but they mirror each other hop for
-/// hop: a lifecycle fix in one almost certainly belongs in the other.
+/// Remote requests ride the accelerator queue's payload word with their
+/// origin shard packed above the uplink nanoseconds: (origin + 1) in the
+/// top byte, up_ns below. Local submissions store plain up_ns, whose top
+/// byte is zero for any latency under ~2 years — so the completion sink
+/// distinguishes the paths from the payload alone.
+constexpr unsigned kOriginShift = 56;
+constexpr std::uint64_t kUplinkMask = (std::uint64_t{1} << kOriginShift) - 1;
+
+/// Remote-path RNG stream salts (relative to the shard's engine seed).
+/// Only drawn when a run actually has a remote pod to reach, which is
+/// what keeps a 1-shard sharded run byte-identical to the serial engine.
+constexpr std::uint64_t kRemoteRouteSalt = 0x5a07;  ///< coin + pod + uplink
+constexpr std::uint64_t kRemoteDownSalt = 0x5a17;   ///< downlink at the pod
+
+/// One fleet engine: the mutable state of one serving timeline — the
+/// request slab, the server pool and the dispatch machinery. Same event
+/// discipline as ServingEngine in serving.cpp — index-carrying inline
+/// captures, zero per-request allocations — with the server index riding
+/// along. The two engines are deliberately separate (ServingEngine is
+/// pinned to the legacy byte-identity contract; this one adds dispatch,
+/// per-server accounting and an SLO counter), but they mirror each other
+/// hop for hop: a lifecycle fix in one almost certainly belongs in the
+/// other.
+///
+/// The engine borrows its Simulator, so the same code serves both the
+/// serial FleetStudy (one engine, one owned timeline) and the sharded
+/// fleet (one engine per shard of a netsim::ShardedSimulator). In the
+/// sharded case the `sharded`/`peers` wiring is set and remote requests
+/// travel through the cross-shard mailboxes; an engine NEVER writes
+/// another shard's state directly — results and drop notices are posted
+/// back to the owning timeline.
 struct FleetEngine {
   struct ServerState {
     std::unique_ptr<AcceleratorServer> server;
@@ -48,7 +73,7 @@ struct FleetEngine {
   };
 
   const FleetStudy::Config& config;
-  netsim::Simulator sim;
+  netsim::Simulator& sim;
   InferenceEnergyModel energy;
   std::vector<ServerState> servers;
   /// Tier-affine preference: server indices grouped edge, cloud, device.
@@ -60,7 +85,15 @@ struct FleetEngine {
   Rng downlink_rng;
   stats::ShiftedExponential interarrival;
 
+  /// Slot-recycled request records: in-flight requests are bounded by
+  /// the fleet's queue capacities (plus events in the pipe), not by the
+  /// run length, so the slab grows to the high-water mark and slots are
+  /// reused. Slot values never influence event order, RNG draws or any
+  /// report field, so recycling cannot perturb the output.
   RequestSlab slab;
+  std::vector<std::uint32_t> free_slots;
+  std::uint32_t spawned = 0;  ///< arrivals fired so far
+
   FleetStudy::Report& report;
   EnergyBreakdown energy_sum;
   TimePoint makespan;
@@ -72,21 +105,50 @@ struct FleetEngine {
   double downlink_j = 0.0;
   Duration tx_rx_airtime;
 
-  FleetEngine(const FleetStudy::Config& cfg, FleetStudy::Report& rep)
+  // -- sharded wiring (null/inert in the serial path) ---------------------
+  netsim::ShardedSimulator* sharded = nullptr;
+  FleetEngine* const* peers = nullptr;  ///< engine of every shard, by index
+  std::uint32_t self = 0;
+  std::uint32_t shard_count = 1;
+  double remote_fraction = 0.0;
+  const FleetStudy::DelaySampler* remote_uplink = nullptr;
+  const FleetStudy::DelaySampler* remote_downlink = nullptr;
+  Duration window;  ///< conservative window (drop notices ride it)
+  Rng remote_route_rng;
+  Rng remote_down_rng;
+  std::uint64_t remote_sent = 0;
+
+  FleetEngine(const FleetStudy::Config& cfg, netsim::Simulator& timeline,
+              FleetStudy::Report& rep)
       : config(cfg),
-        sim(cfg.seed),
+        sim(timeline),
         energy(cfg.energy),
         arrival_rng(derive_seed(cfg.seed, 0xf1ee)),
         uplink_rng(derive_seed(cfg.seed, 0xf0b1)),
         downlink_rng(derive_seed(cfg.seed, 0xfd01)),
         interarrival(0.0, 1.0 / cfg.arrivals_per_second),
-        report(rep) {
-    slab.resize(cfg.requests);
+        report(rep),
+        remote_route_rng(derive_seed(cfg.seed, kRemoteRouteSalt)),
+        remote_down_rng(derive_seed(cfg.seed, kRemoteDownSalt)) {
     up_airtime = energy.uplink_airtime(cfg.model);
     down_airtime = energy.downlink_airtime(cfg.model);
     uplink_j = cfg.energy.radio.tx_watts * up_airtime.sec();
     downlink_j = cfg.energy.radio.rx_watts * down_airtime.sec();
     tx_rx_airtime = up_airtime + down_airtime;
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (!free_slots.empty()) {
+      const std::uint32_t slot = free_slots.back();
+      free_slots.pop_back();
+      return slot;
+    }
+    return slab.grow();
+  }
+
+  void release_slot(std::uint32_t slot) {
+    slab.state[slot] = RequestSlab::State::kScheduled;
+    free_slots.push_back(slot);
   }
 
   [[nodiscard]] std::uint64_t load_of(const ServerState& s) const {
@@ -143,19 +205,27 @@ struct FleetEngine {
     return best;
   }
 
-  void on_arrival(std::uint32_t slot);
+  void on_arrival();
   void on_submit(std::uint32_t slot, std::uint32_t server, Duration up);
   void on_complete(std::uint32_t server, std::uint32_t slot,
-                   std::uint64_t up_ns,
+                   std::uint64_t payload,
                    const AcceleratorServer::Completion& completion);
   void on_record(std::uint32_t slot, std::uint32_t server, std::uint32_t batch,
                  Duration net, Duration queue_wait, Duration service);
+
+  // Remote-path handlers (sharded runs only).
+  void dispatch_remote(std::uint32_t slot);
+  void on_remote_submit(std::uint32_t origin, std::uint32_t slot,
+                        std::int64_t up_ns);
+  void on_remote_record(std::uint32_t slot, std::uint32_t batch,
+                        std::int64_t net_ns, std::int64_t queue_ns,
+                        std::int64_t service_ns, double compute_j);
+  void on_remote_drop(std::uint32_t slot);
 };
 
 struct FleetArrivalEvent {
   FleetEngine* engine;
-  std::uint32_t slot;
-  void operator()() const { engine->on_arrival(slot); }
+  void operator()() const { engine->on_arrival(); }
 };
 static_assert(sizeof(FleetArrivalEvent) <= netsim::InplaceAction::kInlineBytes);
 
@@ -182,18 +252,60 @@ struct FleetRecordEvent {
 };
 static_assert(sizeof(FleetRecordEvent) <= netsim::InplaceAction::kInlineBytes);
 
-void FleetEngine::on_arrival(std::uint32_t slot) {
-  if (slot + 1 < config.requests) {
+/// Executes on the REMOTE pod's timeline, delivered through the mailbox.
+struct RemoteSubmitEvent {
+  FleetEngine* engine;  ///< destination (serving) shard's engine
+  std::uint32_t origin;
+  std::uint32_t slot;  ///< origin shard's slot — opaque here
+  std::int64_t up_ns;
+  void operator()() const { engine->on_remote_submit(origin, slot, up_ns); }
+};
+static_assert(sizeof(RemoteSubmitEvent) <= netsim::InplaceAction::kInlineBytes);
+
+/// Executes back on the ORIGIN pod's timeline: the only place the origin
+/// shard's slab and report are touched for a remote request.
+struct RemoteRecordEvent {
+  FleetEngine* engine;  ///< origin shard's engine
+  std::uint32_t slot;
+  std::uint32_t batch;
+  std::int64_t net_ns;
+  std::int64_t queue_ns;
+  std::int64_t service_ns;
+  double compute_j;
+  void operator()() const {
+    engine->on_remote_record(slot, batch, net_ns, queue_ns, service_ns,
+                             compute_j);
+  }
+};
+static_assert(sizeof(RemoteRecordEvent) <= netsim::InplaceAction::kInlineBytes);
+
+struct RemoteDropEvent {
+  FleetEngine* engine;  ///< origin shard's engine
+  std::uint32_t slot;
+  void operator()() const { engine->on_remote_drop(slot); }
+};
+static_assert(sizeof(RemoteDropEvent) <= netsim::InplaceAction::kInlineBytes);
+
+void FleetEngine::on_arrival() {
+  if (++spawned < config.requests) {
     // Chain the next arrival first (same tie discipline as the
     // single-server engine).
     const Duration delta =
         Duration::from_seconds_f(interarrival.sample(arrival_rng));
-    sim.schedule_at(sim.now() + delta, FleetArrivalEvent{this, slot + 1});
+    sim.schedule_at(sim.now() + delta, FleetArrivalEvent{this});
   }
+  const std::uint32_t slot = acquire_slot();
   SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kScheduled,
-              "arrival fired twice for one slot");
+              "acquired slot is not idle");
   slab.state[slot] = RequestSlab::State::kUplink;
   slab.device_start[slot] = sim.now();
+  // The remote coin is tossed only when a remote pod exists, so a
+  // 1-shard (or fully partitioned) run never consumes the stream.
+  if (remote_fraction > 0.0 && shard_count > 1 &&
+      remote_route_rng.chance(remote_fraction)) {
+    dispatch_remote(slot);
+    return;
+  }
   const std::uint32_t k = dispatch();
   ServerState& target = servers[k];
   ++target.dispatched;
@@ -213,20 +325,68 @@ void FleetEngine::on_submit(std::uint32_t slot, std::uint32_t server,
     slab.state[slot] = RequestSlab::State::kQueued;
   } else {
     slab.state[slot] = RequestSlab::State::kDropped;
+    release_slot(slot);
+  }
+}
+
+void FleetEngine::dispatch_remote(std::uint32_t slot) {
+  ++remote_sent;
+  // Uniform choice among the other pods, then the inter-pod uplink leg.
+  const std::uint32_t pick =
+      std::uint32_t(remote_route_rng.uniform_int(shard_count - 1));
+  const std::uint32_t dst = pick >= self ? pick + 1 : pick;
+  const Duration up = (*remote_uplink)(remote_route_rng) + up_airtime;
+  SIXG_ASSERT((std::uint64_t(up.ns()) >> kOriginShift) == 0,
+              "remote uplink latency overflows the payload word");
+  sharded->post(self, dst, sim.now() + up,
+                RemoteSubmitEvent{peers[dst], self, slot, up.ns()});
+}
+
+void FleetEngine::on_remote_submit(std::uint32_t origin, std::uint32_t slot,
+                                   std::int64_t up_ns) {
+  const std::uint32_t k = dispatch();
+  ServerState& target = servers[k];
+  ++target.dispatched;
+  const std::uint64_t payload =
+      ((std::uint64_t(origin) + 1) << kOriginShift) | std::uint64_t(up_ns);
+  if (!target.server->submit(slot, payload)) {
+    // Queue full. The owner must record the drop and recycle the slot;
+    // never touch another shard's slab from this timeline — post the
+    // notice back through the mailbox (it rides the window, the floor
+    // any cross-shard signal must respect).
+    sharded->post(self, origin, sim.now() + window,
+                  RemoteDropEvent{peers[origin], slot});
   }
 }
 
 void FleetEngine::on_complete(std::uint32_t server, std::uint32_t slot,
-                              std::uint64_t up_ns,
+                              std::uint64_t payload,
                               const AcceleratorServer::Completion& completion) {
+  ServerState& from = servers[server];
+  const std::uint64_t origin_tag = payload >> kOriginShift;
+  if (origin_tag != 0) {
+    // A remote pod's request: finish the serving-side accounting here,
+    // then post the result back to the owning timeline.
+    const std::uint32_t origin = std::uint32_t(origin_tag) - 1;
+    from.queue_ms.add(completion.queue_wait().ms());
+    const Duration down = (*remote_downlink)(remote_down_rng) + down_airtime;
+    const Duration net =
+        Duration::nanos(std::int64_t(payload & kUplinkMask)) + down;
+    sharded->post(
+        self, origin, sim.now() + down,
+        RemoteRecordEvent{peers[origin], slot, completion.batch_size, net.ns(),
+                          completion.queue_wait().ns(),
+                          completion.service().ns(),
+                          from.compute_j_by_batch[completion.batch_size]});
+    return;
+  }
   SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kQueued,
               "fleet completion for a slot that is not queued");
   slab.state[slot] = RequestSlab::State::kDownlink;
-  ServerState& from = servers[server];
   const Duration down =
       from.networked ? from.spec->downlink(downlink_rng) + down_airtime
                      : Duration{};
-  const Duration net = Duration::nanos(std::int64_t(up_ns)) + down;
+  const Duration net = Duration::nanos(std::int64_t(payload)) + down;
   if (down.is_zero()) {
     on_record(slot, server, completion.batch_size, net,
               completion.queue_wait(), completion.service());
@@ -264,25 +424,51 @@ void FleetEngine::on_record(std::uint32_t slot, std::uint32_t server,
   }
   if (sim.now() > makespan) makespan = sim.now();
   slab.state[slot] = RequestSlab::State::kDone;
+  release_slot(slot);
 }
 
-}  // namespace
+void FleetEngine::on_remote_record(std::uint32_t slot, std::uint32_t batch,
+                                   std::int64_t net_ns, std::int64_t queue_ns,
+                                   std::int64_t service_ns, double compute_j) {
+  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kUplink,
+              "remote record for a slot that is not in flight");
+  const Duration queue_wait = Duration::nanos(queue_ns);
+  const Duration e2e = sim.now() - slab.device_start[slot];
+  const double e2e_ms = e2e.ms();
+  report.e2e_ms.add(e2e_ms);
+  report.e2e_q.add(e2e_ms);
+  report.e2e_hist->add(e2e_ms);
+  report.network_ms.add(Duration::nanos(net_ns).ms());
+  report.queue_ms.add(queue_wait.ms());
+  report.service_ms.add(Duration::nanos(service_ns).ms());
+  report.batch_size.add(double(batch));
+  if (e2e <= config.slo) ++report.within_slo;
+  // A remote request is always networked: radio energy on this device,
+  // compute amortised on the serving pod's accelerator.
+  energy_sum.uplink_j += uplink_j;
+  energy_sum.downlink_j += downlink_j;
+  energy_sum.wait_j += config.energy.radio.idle_watts *
+                       std::max(0.0, (e2e - tx_rx_airtime).sec());
+  energy_sum.server_compute_j += compute_j;
+  if (sim.now() > makespan) makespan = sim.now();
+  slab.state[slot] = RequestSlab::State::kDone;
+  release_slot(slot);
+}
 
-FleetStudy::Report FleetStudy::run(const Config& config) {
-  SIXG_ASSERT(!config.servers.empty(), "a fleet needs at least one server");
-  SIXG_ASSERT(config.arrivals_per_second > 0.0,
-              "arrival rate must be positive");
-  SIXG_ASSERT(config.requests >= 1, "need at least one request");
+void FleetEngine::on_remote_drop(std::uint32_t slot) {
+  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kUplink,
+              "remote drop notice for a slot that is not in flight");
+  slab.state[slot] = RequestSlab::State::kDropped;
+  release_slot(slot);
+}
 
-  Report report;
-  report.e2e_q = stats::ReservoirQuantile{config.quantile_cap,
-                                          derive_seed(config.seed, 0xf95e)};
-  report.e2e_hist.emplace(0.0, config.hist_hi_ms, config.hist_bins);
-
-  FleetEngine engine{config, report};
+/// Build the server pool and the tier-affine preference order, and chain
+/// the first arrival. Shared verbatim between the serial and sharded
+/// paths — that sharing IS the 1-shard byte-equivalence argument.
+void setup_engine(FleetEngine& engine, const FleetStudy::Config& config) {
   engine.servers.reserve(config.servers.size());
   for (std::uint32_t k = 0; k < config.servers.size(); ++k) {
-    const ServerSpec& spec = config.servers[k];
+    const FleetStudy::ServerSpec& spec = config.servers[k];
     SIXG_ASSERT(static_cast<bool>(spec.uplink) ==
                     static_cast<bool>(spec.downlink),
                 "per-server uplink and downlink samplers must be set "
@@ -295,10 +481,11 @@ FleetStudy::Report FleetStudy::run(const Config& config) {
     state.networked = static_cast<bool>(spec.uplink);
     state.server = std::make_unique<AcceleratorServer>(
         engine.sim, spec.accelerator, config.model, spec.batching);
+    FleetEngine* owner = &engine;
     state.server->set_completion_sink(
-        [&engine, k](std::uint32_t slot, std::uint64_t payload,
-                     const AcceleratorServer::Completion& completion) {
-          engine.on_complete(k, slot, payload, completion);
+        [owner, k](std::uint32_t slot, std::uint64_t payload,
+                   const AcceleratorServer::Completion& completion) {
+          owner->on_complete(k, slot, payload, completion);
         });
     state.compute_j_by_batch.resize(std::size_t{1} + spec.batching.max_batch);
     for (std::uint32_t b = 1; b <= spec.batching.max_batch; ++b) {
@@ -318,18 +505,24 @@ FleetStudy::Report FleetStudy::run(const Config& config) {
 
   const Duration first = Duration::from_seconds_f(
       engine.interarrival.sample(engine.arrival_rng));
-  engine.sim.schedule_at(TimePoint{} + first, FleetArrivalEvent{&engine, 0});
-  engine.sim.run();
+  engine.sim.schedule_at(TimePoint{} + first, FleetArrivalEvent{&engine});
+}
 
+/// Append the engine's per-server rows to `report` and fold its request
+/// counters in. `prefix` namespaces the rows in a multi-pod report
+/// ("pod3/edge-0"); empty in the serial path.
+void collect_servers(const FleetEngine& engine, FleetStudy::Report& report,
+                     const char* prefix) {
   for (std::uint32_t k = 0; k < engine.servers.size(); ++k) {
     const FleetEngine::ServerState& state = engine.servers[k];
-    ServerStats stats;
+    FleetStudy::ServerStats stats;
+    stats.name = prefix;
     if (state.spec->name.empty()) {
       char buf[48];
       std::snprintf(buf, sizeof buf, "%s-%u", to_string(state.spec->tier), k);
-      stats.name = buf;
+      stats.name += buf;
     } else {
-      stats.name = state.spec->name;
+      stats.name += state.spec->name;
     }
     stats.tier = state.spec->tier;
     stats.dispatched = state.dispatched;
@@ -343,6 +536,35 @@ FleetStudy::Report FleetStudy::run(const Config& config) {
     report.dropped += state.server->dropped();
     report.batches += state.server->batches_launched();
   }
+}
+
+void check_config(const FleetStudy::Config& config) {
+  SIXG_ASSERT(!config.servers.empty(), "a fleet needs at least one server");
+  SIXG_ASSERT(config.arrivals_per_second > 0.0,
+              "arrival rate must be positive");
+  SIXG_ASSERT(config.requests >= 1, "need at least one request");
+}
+
+void init_streaming_report(FleetStudy::Report& report,
+                           const FleetStudy::Config& config) {
+  report.e2e_q = stats::ReservoirQuantile{config.quantile_cap,
+                                          derive_seed(config.seed, 0xf95e)};
+  report.e2e_hist.emplace(0.0, config.hist_hi_ms, config.hist_bins);
+}
+
+}  // namespace
+
+FleetStudy::Report FleetStudy::run(const Config& config) {
+  check_config(config);
+  Report report;
+  init_streaming_report(report, config);
+
+  netsim::Simulator sim(config.seed);
+  FleetEngine engine{config, sim, report};
+  setup_engine(engine, config);
+  sim.run();
+
+  collect_servers(engine, report, "");
   if (report.completed > 0) {
     engine.energy_sum /= double(report.completed);
     report.mean_energy = engine.energy_sum;
@@ -351,6 +573,165 @@ FleetStudy::Report FleetStudy::run(const Config& config) {
   if (makespan_sec > 0.0)
     report.throughput_per_s = double(report.completed) / makespan_sec;
   return report;
+}
+
+ShardedFleetStudy::Report ShardedFleetStudy::run(const Config& config) {
+  check_config(config.shard);
+  SIXG_ASSERT(config.shards >= 1, "a sharded fleet needs at least one shard");
+  const bool remote_possible =
+      config.shards > 1 && config.remote_fraction > 0.0;
+  SIXG_ASSERT(!remote_possible ||
+                  (static_cast<bool>(config.remote_uplink) &&
+                   static_cast<bool>(config.remote_downlink)),
+              "remote traffic needs both inter-pod samplers");
+
+  netsim::ShardedSimulator::Config kernel_cfg;
+  kernel_cfg.shards = config.shards;
+  kernel_cfg.window = config.window;
+  kernel_cfg.seed = config.shard.seed;
+  kernel_cfg.workers = config.workers;
+  netsim::ShardedSimulator kernel(kernel_cfg);
+
+  // Per-shard engines: each a full FleetStudy on its own timeline, seed
+  // rebased per shard (shard 0 keeps the base seed).
+  std::vector<FleetStudy::Config> shard_configs(config.shards, config.shard);
+  std::vector<FleetStudy::Report> shard_reports(config.shards);
+  std::vector<std::unique_ptr<FleetEngine>> engines;
+  std::vector<FleetEngine*> peers(config.shards, nullptr);
+  engines.reserve(config.shards);
+  for (std::uint32_t k = 0; k < config.shards; ++k) {
+    shard_configs[k].seed = netsim::shard_seed(config.shard.seed, k);
+    init_streaming_report(shard_reports[k], shard_configs[k]);
+    engines.push_back(std::make_unique<FleetEngine>(
+        shard_configs[k], kernel.shard(k), shard_reports[k]));
+    peers[k] = engines.back().get();
+  }
+  for (std::uint32_t k = 0; k < config.shards; ++k) {
+    FleetEngine& engine = *engines[k];
+    engine.sharded = &kernel;
+    engine.peers = peers.data();
+    engine.self = k;
+    engine.shard_count = config.shards;
+    engine.remote_fraction = remote_possible ? config.remote_fraction : 0.0;
+    engine.remote_uplink = &config.remote_uplink;
+    engine.remote_downlink = &config.remote_downlink;
+    engine.window = config.window;
+    setup_engine(engine, shard_configs[k]);
+  }
+
+  kernel.run();
+
+  // Merge in fixed shard order — deterministic regardless of which
+  // worker ran what. Shard 0's streaming report is the base, so a
+  // 1-shard merge is the identity.
+  Report report;
+  static_cast<FleetStudy::Report&>(report) = std::move(shard_reports[0]);
+  for (std::uint32_t k = 1; k < config.shards; ++k) {
+    const FleetStudy::Report& r = shard_reports[k];
+    report.e2e_ms.merge(r.e2e_ms);
+    report.e2e_q.merge(r.e2e_q);
+    report.network_ms.merge(r.network_ms);
+    report.queue_ms.merge(r.queue_ms);
+    report.service_ms.merge(r.service_ms);
+    report.batch_size.merge(r.batch_size);
+    report.e2e_hist->merge(*r.e2e_hist);
+    report.within_slo += r.within_slo;
+  }
+  EnergyBreakdown energy_sum;
+  TimePoint makespan;
+  for (std::uint32_t k = 0; k < config.shards; ++k) {
+    char prefix[16] = "";
+    if (config.shards > 1) std::snprintf(prefix, sizeof prefix, "pod%u/", k);
+    collect_servers(*engines[k], report, prefix);
+    energy_sum += engines[k]->energy_sum;
+    if (engines[k]->makespan > makespan) makespan = engines[k]->makespan;
+    report.remote_requests += engines[k]->remote_sent;
+  }
+  if (report.completed > 0) {
+    energy_sum /= double(report.completed);
+    report.mean_energy = energy_sum;
+  }
+  const double makespan_sec = (makespan - TimePoint{}).sec();
+  if (makespan_sec > 0.0)
+    report.throughput_per_s = double(report.completed) / makespan_sec;
+  report.shards = config.shards;
+  report.windows = kernel.windows();
+  report.mailbox_messages = kernel.messages();
+  return report;
+}
+
+namespace {
+
+/// FNV-1a over a fixed serialization of the report fields.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ULL;
+  void byte(unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) byte((v >> (8 * i)) & 0xff);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+    u64(s.size());
+  }
+  void summary(const stats::Summary& s) {
+    u64(s.count());
+    f64(s.mean());
+    f64(s.variance());
+    f64(s.min());
+    f64(s.max());
+  }
+};
+
+}  // namespace
+
+std::uint64_t fleet_report_digest(const FleetStudy::Report& r) {
+  Digest d;
+  d.summary(r.e2e_ms);
+  d.summary(r.network_ms);
+  d.summary(r.queue_ms);
+  d.summary(r.service_ms);
+  d.summary(r.batch_size);
+  d.u64(r.e2e_q.count());
+  for (const double q : {0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    d.f64(r.e2e_q.quantile(q));
+  }
+  if (r.e2e_hist.has_value()) {
+    d.u64(r.e2e_hist->count());
+    d.u64(r.e2e_hist->underflow());
+    d.u64(r.e2e_hist->overflow());
+    for (std::size_t i = 0; i < r.e2e_hist->bin_count(); ++i) {
+      d.u64(r.e2e_hist->bin(i));
+    }
+  }
+  d.u64(r.completed);
+  d.u64(r.dropped);
+  d.u64(r.batches);
+  d.u64(r.within_slo);
+  d.f64(r.throughput_per_s);
+  d.f64(r.mean_energy.uplink_j);
+  d.f64(r.mean_energy.downlink_j);
+  d.f64(r.mean_energy.wait_j);
+  d.f64(r.mean_energy.device_compute_j);
+  d.f64(r.mean_energy.server_compute_j);
+  for (const FleetStudy::ServerStats& s : r.servers) {
+    d.str(s.name);
+    d.u64(static_cast<std::uint64_t>(s.tier));
+    d.u64(s.dispatched);
+    d.u64(s.completed);
+    d.u64(s.dropped);
+    d.u64(s.batches);
+    d.f64(s.mean_batch_size);
+    d.summary(s.queue_ms);
+  }
+  return d.h;
 }
 
 }  // namespace sixg::edgeai

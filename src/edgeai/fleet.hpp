@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -115,5 +116,62 @@ class FleetStudy {
   /// same report, independent of wall clock and thread count.
   [[nodiscard]] static Report run(const Config& config);
 };
+
+/// Fleet serving partitioned into spatial shards (edge pods), each a full
+/// FleetStudy engine on its own netsim::Simulator timeline, executed by
+/// netsim::ShardedSimulator in conservative windows. Each pod generates
+/// its own slice of the city load; a configurable fraction of arrivals is
+/// served by a *remote* pod, riding an inter-pod link through the
+/// cross-shard mailboxes (submit there, result posted back — no shard
+/// ever touches another shard's memory).
+///
+/// Determinism contract, extended: for a fixed shard count the report is
+/// byte-identical at any worker-thread count, and a 1-shard run is
+/// byte-identical to the serial FleetStudy::run of the same per-shard
+/// config (shard 0 keeps the base seed; remote streams are never drawn
+/// when there is no other shard to reach). tests/test_sharded.cpp pins
+/// both properties.
+class ShardedFleetStudy {
+ public:
+  struct Config {
+    /// Per-shard workload template: every pod runs this config with its
+    /// seed rebased to netsim::shard_seed(shard.seed, k). `requests` and
+    /// `arrivals_per_second` are PER SHARD: total offered load scales
+    /// with the shard count.
+    FleetStudy::Config shard;
+    std::uint32_t shards = 4;
+    /// Worker threads for the sharded kernel; 0 = hardware concurrency.
+    /// Never changes the report.
+    unsigned workers = 0;
+    /// Conservative window. Must not exceed the inter-pod latency floor
+    /// (topo::CompiledPath::min_latency of the inter-pod path); the
+    /// kernel asserts every cross-shard message against it.
+    Duration window = Duration::millis(2);
+    /// Fraction of arrivals served by a uniformly chosen remote pod
+    /// (0 = fully partitioned city, shards never interact).
+    double remote_fraction = 0.0;
+    /// Inter-pod network legs for remote requests; both set or both
+    /// null. Their latency floor must be >= `window`.
+    FleetStudy::DelaySampler remote_uplink;
+    FleetStudy::DelaySampler remote_downlink;
+  };
+
+  struct Report : FleetStudy::Report {
+    std::uint64_t shards = 0;
+    std::uint64_t windows = 0;           ///< conservative windows executed
+    std::uint64_t remote_requests = 0;   ///< arrivals served by a remote pod
+    std::uint64_t mailbox_messages = 0;  ///< cross-shard messages delivered
+  };
+
+  /// Pure function of the config: same config (including shard count) ->
+  /// same report at any worker count.
+  [[nodiscard]] static Report run(const Config& config);
+};
+
+/// Order-sensitive digest of every field of a fleet report (bit patterns
+/// of the floats, exact counters, server rows). Two reports digest equal
+/// iff they are byte-identical in all observable fields — the equivalence
+/// oracle used by tests/test_sharded.cpp and bench/shard.cpp.
+[[nodiscard]] std::uint64_t fleet_report_digest(const FleetStudy::Report& r);
 
 }  // namespace sixg::edgeai

@@ -40,6 +40,17 @@ struct RequestSlab {
     state.assign(requests, State::kScheduled);
   }
 
+  /// Append one idle record and return its slot. Engines that recycle
+  /// slots through a free list (the fleet engine: in-flight requests are
+  /// bounded by queue capacity, not the request count) grow on demand
+  /// instead of sizing the slab to the whole run up front — that is what
+  /// keeps a 100M-request sharded city run in O(in-flight) memory.
+  [[nodiscard]] std::uint32_t grow() {
+    device_start.push_back(TimePoint{});
+    state.push_back(State::kScheduled);
+    return std::uint32_t(state.size() - 1);
+  }
+
   [[nodiscard]] std::size_t size() const { return state.size(); }
 };
 

@@ -20,6 +20,12 @@ void ParallelRunner::run_chunked(
     const std::function<void(std::size_t)>& job) const {
   if (job_count == 0) return;
   if (chunk == 0) chunk = 1;
+  // An oversized chunk must not serialise the whole run: clamp it to a
+  // fair split so every thread still gets work. Results are unchanged
+  // (jobs are independent and chunking never affects seed derivation).
+  if (chunk > job_count && threads_ > 1) {
+    chunk = (job_count + threads_ - 1) / threads_;
+  }
   if (threads_ == 1 || job_count <= chunk) {
     for (std::size_t i = 0; i < job_count; ++i) job(i);
     return;

@@ -32,7 +32,10 @@ class ParallelRunner {
   /// cursor bump: one atomic RMW per chunk instead of per job, and
   /// consecutive indices (which usually share warm state) stay on one
   /// worker. `chunk` == 0 or 1 degenerates to run(). The campaign
-  /// engine sizes chunks so each worker gets several turns.
+  /// engine sizes chunks so each worker gets several turns. A chunk
+  /// larger than the job list is clamped to a fair per-thread split
+  /// rather than serialising the run; chunking never changes results
+  /// (jobs are independent and seeds derive from the index alone).
   void run_chunked(std::size_t job_count, std::size_t chunk,
                    const std::function<void(std::size_t)>& job) const;
 

@@ -1,0 +1,186 @@
+#include "netsim/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace sixg::netsim {
+
+/// Persistent worker pool: one barrier generation per window. Workers
+/// sleep on a condition variable between windows; per window the
+/// coordinator bumps the epoch, every participant (workers plus the
+/// coordinating thread) claims shards off an atomic cursor, and the
+/// coordinator waits until all participants have checked back in. The
+/// mutex hand-offs give the mailbox reads after the barrier a
+/// happens-before edge over every shard executed in the window.
+struct ShardedSimulator::Pool {
+  explicit Pool(ShardedSimulator& owner, unsigned workers) : sharded(owner) {
+    threads.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t) {
+      threads.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return shutdown || epoch != seen; });
+        if (shutdown) return;
+        seen = epoch;
+      }
+      sharded.run_claimed();
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (--remaining == 0) cv_done.notify_one();
+      }
+    }
+  }
+
+  ShardedSimulator& sharded;
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  unsigned remaining = 0;
+  bool shutdown = false;
+  std::atomic<std::uint32_t> cursor{0};
+  std::vector<std::thread> threads;
+};
+
+ShardedSimulator::ShardedSimulator(const Config& config) : config_(config) {
+  SIXG_ASSERT(config.shards >= 1, "a sharded run needs at least one shard");
+  SIXG_ASSERT(config.window > Duration{},
+              "the conservative window must be positive");
+  const unsigned requested =
+      config.workers != 0 ? config.workers
+                          : std::max(1u, std::thread::hardware_concurrency());
+  workers_ = std::min<unsigned>(requested, config.shards);
+  shards_.reserve(config.shards);
+  for (std::uint32_t k = 0; k < config.shards; ++k) {
+    shards_.push_back(
+        std::make_unique<Shard>(shard_seed(config.seed, k), config.shards));
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::post(std::uint32_t src, std::uint32_t dst, TimePoint at,
+                            Simulator::Action action) {
+  SIXG_ASSERT(src < shards_.size() && dst < shards_.size(),
+              "post() shard index out of range");
+  SIXG_ASSERT(src != dst,
+              "same-shard post: schedule on shard(src) directly instead");
+  // The conservative causality bound: a message emitted during the
+  // window ending at horizon_ is only delivered at that barrier, so it
+  // must not be due before it. Window sizing (<= the minimum cross-shard
+  // latency) makes every physically modelled message satisfy this.
+  SIXG_ASSERT(!running_ || at >= horizon_,
+              "cross-shard message due before its conservative window end — "
+              "the window exceeds the minimum cross-shard latency");
+  SIXG_ASSERT(running_ || at >= now_,
+              "cross-shard message due before the barrier clock");
+  shards_[src]->outbox[dst].push_back(Message{at, std::move(action)});
+}
+
+bool ShardedSimulator::has_work() const {
+  for (const auto& shard : shards_) {
+    if (shard->sim.pending_events() > 0) return true;
+    for (const auto& box : shard->outbox) {
+      if (!box.empty()) return true;
+    }
+  }
+  return false;
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  // Fixed (dst, src, append-order) total order: the destination kernel
+  // assigns the same event sequence numbers regardless of which worker
+  // ran which shard. This order IS the determinism contract — do not
+  // reorder for convenience.
+  for (std::uint32_t dst = 0; dst < shards_.size(); ++dst) {
+    Simulator& sink = shards_[dst]->sim;
+    for (std::uint32_t src = 0; src < shards_.size(); ++src) {
+      if (src == dst) continue;
+      auto& box = shards_[src]->outbox[dst];
+      for (Message& m : box) {
+        SIXG_ASSERT(m.at >= now_,
+                    "drained message due before the barrier clock");
+        sink.schedule_at(m.at, std::move(m.action));
+        ++messages_;
+      }
+      box.clear();
+    }
+  }
+}
+
+void ShardedSimulator::run_claimed() {
+  for (;;) {
+    const std::uint32_t k =
+        pool_->cursor.fetch_add(1, std::memory_order_relaxed);
+    if (k >= shards_.size()) return;
+    shards_[k]->sim.run_until(horizon_);
+  }
+}
+
+void ShardedSimulator::execute_shards() {
+  if (workers_ <= 1) {
+    for (auto& shard : shards_) shard->sim.run_until(horizon_);
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<Pool>(*this, workers_);
+  {
+    const std::lock_guard<std::mutex> lock(pool_->mu);
+    pool_->cursor.store(0, std::memory_order_relaxed);
+    pool_->remaining = workers_ - 1;  // the coordinator checks in inline
+    ++pool_->epoch;
+  }
+  pool_->cv_work.notify_all();
+  run_claimed();
+  std::unique_lock<std::mutex> lock(pool_->mu);
+  pool_->cv_done.wait(lock, [&] { return pool_->remaining == 0; });
+}
+
+void ShardedSimulator::step_window(TimePoint horizon) {
+  drain_mailboxes();
+  horizon_ = horizon;
+  running_ = true;
+  execute_shards();
+  running_ = false;
+  now_ = horizon;
+  ++windows_;
+}
+
+void ShardedSimulator::run() {
+  while (has_work()) step_window(now_ + config_.window);
+}
+
+void ShardedSimulator::run_until(TimePoint horizon) {
+  while (now_ < horizon) {
+    const TimePoint next = now_ + config_.window;
+    step_window(next < horizon ? next : horizon);
+  }
+}
+
+std::uint64_t ShardedSimulator::processed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.processed_events();
+  return total;
+}
+
+}  // namespace sixg::netsim

@@ -28,6 +28,43 @@ void ReservoirQuantile::add(double x) {
   }
 }
 
+void ReservoirQuantile::merge(const ReservoirQuantile& other) {
+  if (other.seen_ == 0) return;
+  if (exact() && other.exact() && data_.size() + other.data_.size() <= cap_) {
+    // Exact concatenation: indistinguishable from having streamed
+    // other's values into this sink directly.
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    seen_ += other.seen_;
+    sorted_ = false;
+    return;
+  }
+  // Weighted fold: each of other's residents stands for an equal share
+  // of the seen_ values it was sampled from. Feed residents through the
+  // Algorithm R displacement step with seen_ advanced by that share.
+  // Approximate past the cap (one displacement draw per resident rather
+  // than per represented value) but deterministic: all randomness comes
+  // from this reservoir's private generator, so a fixed merge order
+  // yields a fixed result.
+  const std::uint64_t represented = other.seen_;
+  const std::size_t residents = other.data_.size();
+  std::uint64_t fed = 0;
+  for (std::size_t i = 0; i < residents; ++i) {
+    const std::uint64_t target = represented * (i + 1) / residents;
+    seen_ += target - fed;
+    fed = target;
+    if (data_.size() < cap_) {
+      data_.push_back(other.data_[i]);
+      sorted_ = false;
+      continue;
+    }
+    const std::uint64_t j = rng_.uniform_int(seen_);
+    if (j < cap_) {
+      data_[j] = other.data_[i];
+      sorted_ = false;
+    }
+  }
+}
+
 double ReservoirQuantile::quantile(double q) const {
   if (!sorted_) {
     std::sort(data_.begin(), data_.end());

@@ -44,6 +44,16 @@ class ReservoirQuantile {
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
 
+  /// Fold `other`'s samples into this reservoir. While both sides are
+  /// exact and the union fits the cap, the result is bit-identical to
+  /// having add()ed other's values here in their insertion order — the
+  /// property sharded fleet reports rely on to match serial runs byte
+  /// for byte. Beyond that the merge is a weighted subsample drawn from
+  /// this reservoir's private generator: deterministic for a fixed merge
+  /// order, so merging per-shard reservoirs in fixed shard order is
+  /// reproducible at any worker count.
+  void merge(const ReservoirQuantile& other);
+
  private:
   std::size_t cap_;
   Rng rng_;

@@ -52,6 +52,13 @@ class CompiledPath {
   [[nodiscard]] bool valid() const { return valid_; }
   [[nodiscard]] std::size_t hop_count() const { return neg_mean_us_.size(); }
   [[nodiscard]] Duration base_one_way() const { return base_one_way_; }
+
+  /// Conservative lookahead of this path: a hard lower bound on every
+  /// one-way latency draw. Queueing draws are >= 0 (the exponential is
+  /// non-negative and spikes only add), so no sample_one_way result can
+  /// ever be below the deterministic floor. Sharded simulations size
+  /// their synchronization window with this (see netsim::ShardedSimulator).
+  [[nodiscard]] Duration min_latency() const { return base_one_way_; }
   [[nodiscard]] double distance_km() const { return distance_km_; }
   /// The traversed links, for capacity-style consumers (slice admission).
   [[nodiscard]] std::span<const LinkId> links() const { return links_; }
@@ -121,5 +128,20 @@ class CompiledPath {
   double distance_km_ = 0.0;
   bool valid_ = false;
 };
+
+/// Largest safe conservative window for a sharded run whose cross-shard
+/// traffic rides any of `paths`: the smallest latency floor among them.
+/// Returns zero for an empty span — the caller must treat that as "no
+/// conservative window exists" (a zero-latency cross-shard link admits
+/// none either).
+[[nodiscard]] inline Duration conservative_window(
+    std::span<const CompiledPath> paths) {
+  Duration window;
+  for (const CompiledPath& path : paths) {
+    const Duration floor = path.min_latency();
+    if (window == Duration{} || floor < window) window = floor;
+  }
+  return window;
+}
 
 }  // namespace sixg::topo

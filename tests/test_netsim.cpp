@@ -2,6 +2,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -499,6 +500,67 @@ TEST(ParallelRunner, ChunkedRunCoversEveryJobExactlyOnce) {
     });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk " << chunk;
   }
+}
+
+TEST(ParallelRunner, OversizedChunkIsClampedToAFairSplit) {
+  // Regression: chunk >= job_count used to serialise the whole run on
+  // the calling thread even with a multi-thread pool (Campaign plans
+  // with a large fixed chunk and a small grid lost all parallelism).
+  // With the clamp, 64 jobs over 4 threads split into 16-job chunks, so
+  // several distinct threads participate.
+  const ParallelRunner runner{4};
+  std::mutex mu;
+  std::map<std::thread::id, int> per_thread;
+  runner.run_chunked(64, 1000, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::lock_guard<std::mutex> lock(mu);
+    ++per_thread[std::this_thread::get_id()];
+  });
+  int total = 0;
+  for (const auto& [tid, count] : per_thread) total += count;
+  EXPECT_EQ(total, 64);
+  EXPECT_GE(per_thread.size(), 2u);
+}
+
+TEST(ParallelRunner, OversizedChunkEdgeCasesCoverEveryJobOnce) {
+  const ParallelRunner runner{4};
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{3},
+                                 std::size_t{4}, std::size_t{5}}) {
+    for (const std::size_t chunk :
+         {jobs, jobs + 1, std::size_t{1000000}}) {
+      std::vector<std::atomic<int>> hits(jobs);
+      runner.run_chunked(jobs, chunk, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1) << "jobs " << jobs << " chunk " << chunk;
+    }
+  }
+  bool called = false;
+  runner.run_chunked(0, 1000000, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelRunner, ChunkSizeNeverChangesSeededResults) {
+  // Seeds derive from the job index alone, so chunk geometry (including
+  // the oversized-chunk clamp path) must never leak into results.
+  const auto simulate = [](std::size_t i) {
+    Simulator sim{derive_seed(99, i)};
+    double acc = 0.0;
+    for (int k = 0; k < 50; ++k) acc += sim.rng().uniform();
+    return acc;
+  };
+  const ParallelRunner runner{4};
+  const auto run_with_chunk = [&](std::size_t chunk) {
+    std::vector<double> out(24);
+    runner.run_chunked(out.size(), chunk,
+                       [&](std::size_t i) { out[i] = simulate(i); });
+    return out;
+  };
+  const auto reference = run_with_chunk(1);
+  EXPECT_EQ(reference, run_with_chunk(5));
+  EXPECT_EQ(reference, run_with_chunk(24));
+  EXPECT_EQ(reference, run_with_chunk(1000));  // the clamped path
 }
 
 TEST(ParallelRunner, ChunkedRunKeepsChunksContiguousPerWorker) {
