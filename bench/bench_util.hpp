@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "core/registry.hpp"
 #include "core/scenarios.hpp"
 
@@ -15,17 +16,16 @@ namespace sixg::bench {
 inline int run_scenario_main(const char* name, int argc = 1,
                              char** argv = nullptr) {
   if (argc > 1) {
-    std::fprintf(stderr,
-                 "%s: takes no arguments; use `sixg_run --run %s` for "
-                 "--seed/--threads\n",
-                 argv != nullptr ? argv[0] : "bench", name);
+    SIXG_ERROR("bench") << (argv != nullptr ? argv[0] : "bench")
+                        << ": takes no arguments; use `sixg_run --run "
+                        << name << "` for --seed/--threads";
     return 2;
   }
   auto& registry = core::ScenarioRegistry::global();
   core::register_paper_scenarios(registry);
   const core::Scenario* scenario = registry.find(name);
   if (scenario == nullptr) {
-    std::fprintf(stderr, "scenario '%s' is not registered\n", name);
+    SIXG_ERROR("bench") << "scenario '" << name << "' is not registered";
     return 1;
   }
   const auto result = scenario->run(core::RunContext{});

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/log.hpp"
 #include "core/report.hpp"
 
 int main(int argc, char** argv) {
@@ -19,7 +20,7 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     std::ofstream file{argv[1]};
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      SIXG_ERROR("full_report") << "cannot open " << argv[1];
       return 1;
     }
     file << markdown;

@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,8 +13,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.hpp"
+#include "common/time.hpp"
 #include "core/registry.hpp"
 #include "core/scenarios.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -35,6 +39,16 @@ void print_usage(std::FILE* out) {
       "                      (default 0 = hardware concurrency)\n"
       "  --seed S            base seed; scenarios derive their streams\n"
       "                      from it (default 1)\n"
+      "  --metrics PATH      write a metrics JSON document (counters,\n"
+      "                      gauges, histograms, sampled series) covering\n"
+      "                      every scenario run\n"
+      "  --trace PATH        write a Chrome-trace-event JSON file (load\n"
+      "                      it at ui.perfetto.dev or chrome://tracing)\n"
+      "  --sample-every MS   periodic sampler cadence in simulated\n"
+      "                      milliseconds (requires --metrics; default\n"
+      "                      0 = sampling off)\n"
+      "  --log-level L       stderr log level: debug, info, warn, error\n"
+      "                      or off (default warn)\n"
       "  --help              show this help\n"
       "\n"
       "examples:\n"
@@ -42,7 +56,9 @@ void print_usage(std::FILE* out) {
       "  sixg_run --run fig2\n"
       "  sixg_run --run table1,fig4 --seed 7\n"
       "  sixg_run --run all --threads 8\n"
-      "  sixg_run --run edge-inference-latency --format json\n",
+      "  sixg_run --run edge-inference-latency --format json\n"
+      "  sixg_run --run city-serving-sharded --metrics m.json --trace "
+      "t.json\n",
       out);
 }
 
@@ -81,6 +97,39 @@ std::vector<std::string> split_names(const std::string& value) {
   }
 }
 
+bool parse_f64(const char* text, double* out) {
+  // Same leading-digit discipline as parse_u64: no whitespace skipping,
+  // no negative values wrapped through.
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Write `body` to `path` whole; returns false (with the error on
+/// stderr) if the file cannot be created or written.
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sixg_run: cannot open %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::fprintf(stderr, "sixg_run: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool parse_u64(const char* text, std::uint64_t* out) {
   // Require a leading digit: strtoull would skip whitespace and wrap a
   // negative value to a huge uint64, silently accepting e.g. " -3".
@@ -105,6 +154,9 @@ int main(int argc, char** argv) {
   bool list = false;
   bool json = false;
   std::vector<std::string> to_run;
+  std::string metrics_path;
+  std::string trace_path;
+  double sample_ms = 0.0;
   RunContext ctx;
 
   for (int i = 1; i < argc; ++i) {
@@ -150,11 +202,45 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "sixg_run: invalid --seed value\n");
         return 2;
       }
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--sample-every") {
+      if (!parse_f64(next(), &sample_ms) || sample_ms <= 0.0) {
+        std::fprintf(stderr,
+                     "sixg_run: invalid --sample-every value "
+                     "(milliseconds > 0)\n");
+        return 2;
+      }
+    } else if (arg == "--log-level") {
+      const std::string value = next();
+      sixg::LogLevel level;
+      if (!sixg::Log::parse_level(value, &level)) {
+        std::fprintf(stderr,
+                     "sixg_run: unknown --log-level '%s' "
+                     "(debug|info|warn|error|off)\n",
+                     value.c_str());
+        return 2;
+      }
+      sixg::Log::set_level(level);
     } else {
       std::fprintf(stderr, "sixg_run: unknown option '%s'\n\n", arg.c_str());
       print_usage(stderr);
       return 2;
     }
+  }
+
+  const bool obs_wanted = !metrics_path.empty() || !trace_path.empty();
+  if (sample_ms > 0.0 && metrics_path.empty()) {
+    std::fprintf(stderr, "sixg_run: --sample-every requires --metrics\n");
+    return 2;
+  }
+  if (obs_wanted && !sixg::obs::kProbesCompiled) {
+    std::fprintf(stderr,
+                 "sixg_run: this binary was built with SIXG_OBS_PROBES=OFF; "
+                 "--metrics/--trace need probes compiled in\n");
+    return 2;
   }
 
   if (!list && to_run.empty()) {
@@ -189,6 +275,20 @@ int main(int argc, char** argv) {
     selected.push_back(s);
   }
 
+  auto& obs_rt = sixg::obs::Runtime::instance();
+  if (obs_wanted) {
+    obs_rt.configure(sixg::obs::Config{
+        .metrics = !metrics_path.empty(),
+        .trace = !trace_path.empty(),
+        .sample_every = sixg::Duration::from_seconds_f(sample_ms / 1e3)});
+  }
+  const auto run_one = [&](const Scenario* s) {
+    if (obs_wanted) obs_rt.begin_scenario(s->name);
+    auto result = s->run(ctx);
+    if (obs_wanted) obs_rt.end_scenario();
+    return result;
+  };
+
   if (json) {
     // One JSON array regardless of scenario count, so consumers parse
     // the same shape for --run fig2 and --run all.
@@ -197,21 +297,28 @@ int main(int argc, char** argv) {
     for (const Scenario* s : selected) {
       if (!first) std::fputs(",\n", stdout);
       first = false;
-      const auto result = s->run(ctx);
+      const auto result = run_one(s);
       std::fputs(sixg::core::render_json(*s, result).c_str(), stdout);
     }
     std::fputs("]\n", stdout);
-    return 0;
+  } else {
+    // Blank line between scenarios only, so single-scenario output is
+    // byte-identical to the standalone bench shim's.
+    bool first = true;
+    for (const Scenario* s : selected) {
+      if (!first) std::fputs("\n", stdout);
+      first = false;
+      const auto result = run_one(s);
+      std::fputs(sixg::core::render(*s, result).c_str(), stdout);
+    }
   }
 
-  // Blank line between scenarios only, so single-scenario output is
-  // byte-identical to the standalone bench shim's.
-  bool first = true;
-  for (const Scenario* s : selected) {
-    if (!first) std::fputs("\n", stdout);
-    first = false;
-    const auto result = s->run(ctx);
-    std::fputs(sixg::core::render(*s, result).c_str(), stdout);
+  if (!metrics_path.empty() &&
+      !write_file(metrics_path, obs_rt.metrics_json())) {
+    return 1;
+  }
+  if (!trace_path.empty() && !write_file(trace_path, obs_rt.trace_json())) {
+    return 1;
   }
   return 0;
 }

@@ -34,6 +34,23 @@ void Log::set_level(LogLevel level) {
 
 LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
+bool Log::parse_level(std::string_view name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void Log::write(LogLevel level, std::string_view component,
                 std::string_view message) {
   if (level < Log::level()) return;

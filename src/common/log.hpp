@@ -15,6 +15,11 @@ class Log {
   static void set_level(LogLevel level);
   [[nodiscard]] static LogLevel level();
 
+  /// Parse a level name ("debug", "info", "warn", "error", "off") as the
+  /// CLI spells them. Returns false (and leaves *out untouched) on any
+  /// other string.
+  [[nodiscard]] static bool parse_level(std::string_view name, LogLevel* out);
+
   static void write(LogLevel level, std::string_view component,
                     std::string_view message);
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/probe.hpp"
 
 namespace sixg::edgeai {
 
@@ -143,6 +144,8 @@ void AcceleratorServer::launch_batch() {
 
   const auto n = std::uint32_t(
       std::min<std::size_t>(count_, config_.max_batch));
+  SIXG_OBS_HIST(obs::Metric::kHistQueueDepth, count_);
+  SIXG_OBS_HIST(obs::Metric::kHistBatchSize, n);
   const std::uint32_t offset = scratch_parity_ * config_.max_batch;
   scratch_parity_ ^= 1;
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -167,9 +170,21 @@ void AcceleratorServer::finish_batch(TimePoint started, std::uint32_t offset,
   busy_ = false;
   in_service_ = 0;
   const TimePoint done = sim_.now();
+  // Deterministic trace sampling: ordinals come from the server's own
+  // monotonic counters, so the SAME batches/requests are traced at any
+  // worker count (and with tracing off the counters advance identically).
+  const bool tracing = obs::kProbesCompiled && obs::trace_on();
+  if (tracing && (batches_ & obs::kTraceBatchMask) == 0) {
+    obs::probe_span(obs::TraceName::kBatch, started.ns(),
+                    (done - started).ns(), n);
+  }
   for (std::uint32_t i = 0; i < n; ++i) {
     const Entry& entry = scratch_[offset + i];
     ++completed_;
+    if (tracing && (completed_ & obs::kTraceRequestMask) == 0) {
+      obs::probe_span(obs::TraceName::kQueue, entry.submitted.ns(),
+                      (started - entry.submitted).ns(), entry.key);
+    }
     const Completion completion{entry.key, entry.submitted, started, done, n};
     if (entry.handler >= 0) {
       // Move the handler out before invoking: the callback may submit

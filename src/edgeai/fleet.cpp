@@ -11,6 +11,8 @@
 #include "edgeai/request_slab.hpp"
 #include "netsim/sharded.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/obs.hpp"
+#include "obs/sampler.hpp"
 #include "stats/distributions.hpp"
 
 namespace sixg::edgeai {
@@ -94,6 +96,15 @@ struct FleetEngine {
   std::vector<std::uint32_t> free_slots;
   std::uint32_t spawned = 0;  ///< arrivals fired so far
 
+  /// Observability sampler (present only when metrics + sampling are
+  /// on). `inflight` is tracked ONLY when the sampler exists: the
+  /// engine stops the sampler when its last request releases, so the
+  /// sampler's self-re-arming tick chain can never extend the run past
+  /// its uninstrumented end — window counts and the report digest stay
+  /// byte-identical.
+  std::unique_ptr<obs::PeriodicSampler> sampler;
+  std::uint32_t inflight = 0;
+
   FleetStudy::Report& report;
   EnergyBreakdown energy_sum;
   TimePoint makespan;
@@ -149,6 +160,9 @@ struct FleetEngine {
   void release_slot(std::uint32_t slot) {
     slab.state[slot] = RequestSlab::State::kScheduled;
     free_slots.push_back(slot);
+    if (sampler && --inflight == 0 && spawned == config.requests) {
+      sampler->stop();
+    }
   }
 
   [[nodiscard]] std::uint64_t load_of(const ServerState& s) const {
@@ -299,6 +313,8 @@ void FleetEngine::on_arrival() {
               "acquired slot is not idle");
   slab.state[slot] = RequestSlab::State::kUplink;
   slab.device_start[slot] = sim.now();
+  SIXG_OBS_COUNT(obs::Metric::kFleetArrivals, 1);
+  if (sampler) ++inflight;
   // The remote coin is tossed only when a remote pod exists, so a
   // 1-shard (or fully partitioned) run never consumes the stream.
   if (remote_fraction > 0.0 && shard_count > 1 &&
@@ -331,6 +347,7 @@ void FleetEngine::on_submit(std::uint32_t slot, std::uint32_t server,
 
 void FleetEngine::dispatch_remote(std::uint32_t slot) {
   ++remote_sent;
+  SIXG_OBS_COUNT(obs::Metric::kFleetRemote, 1);
   // Uniform choice among the other pods, then the inter-pod uplink leg.
   const std::uint32_t pick =
       std::uint32_t(remote_route_rng.uniform_int(shard_count - 1));
@@ -410,7 +427,19 @@ void FleetEngine::on_record(std::uint32_t slot, std::uint32_t server,
   report.queue_ms.add(queue_wait.ms());
   report.service_ms.add(service.ms());
   report.batch_size.add(double(batch));
-  if (e2e <= config.slo) ++report.within_slo;
+  SIXG_OBS_COUNT(obs::Metric::kFleetCompleted, 1);
+  if (e2e <= config.slo) {
+    ++report.within_slo;
+  } else {
+    SIXG_OBS_COUNT(obs::Metric::kFleetSloMisses, 1);
+  }
+  // Deterministic 1-in-64 request-lifecycle sampling, keyed on the
+  // report's own completion ordinal.
+  if (obs::kProbesCompiled && obs::trace_on() &&
+      (report.e2e_ms.count() & obs::kTraceRequestMask) == 0) {
+    obs::probe_span(obs::TraceName::kRequest, slab.device_start[slot].ns(),
+                    e2e.ns(), batch);
+  }
   ServerState& from = servers[server];
   from.queue_ms.add(queue_wait.ms());
   if (from.networked) {
@@ -442,7 +471,17 @@ void FleetEngine::on_remote_record(std::uint32_t slot, std::uint32_t batch,
   report.queue_ms.add(queue_wait.ms());
   report.service_ms.add(Duration::nanos(service_ns).ms());
   report.batch_size.add(double(batch));
-  if (e2e <= config.slo) ++report.within_slo;
+  SIXG_OBS_COUNT(obs::Metric::kFleetCompleted, 1);
+  if (e2e <= config.slo) {
+    ++report.within_slo;
+  } else {
+    SIXG_OBS_COUNT(obs::Metric::kFleetSloMisses, 1);
+  }
+  if (obs::kProbesCompiled && obs::trace_on() &&
+      (report.e2e_ms.count() & obs::kTraceRequestMask) == 0) {
+    obs::probe_span(obs::TraceName::kRequest, slab.device_start[slot].ns(),
+                    e2e.ns(), batch);
+  }
   // A remote request is always networked: radio energy on this device,
   // compute amortised on the serving pod's accelerator.
   energy_sum.uplink_j += uplink_j;
@@ -506,6 +545,38 @@ void setup_engine(FleetEngine& engine, const FleetStudy::Config& config) {
   const Duration first = Duration::from_seconds_f(
       engine.interarrival.sample(engine.arrival_rng));
   engine.sim.schedule_at(TimePoint{} + first, FleetArrivalEvent{&engine});
+
+  // Observability sampler: rides the engine's own timeline, reads only
+  // this engine's state, and is stopped by the engine's last slot
+  // release — see the member comment for why this keeps the report
+  // digest byte-identical.
+  if (obs::kProbesCompiled && obs::metrics_on()) {
+    const Duration every = obs::Runtime::instance().sample_every();
+    if (every > Duration{}) {
+      obs::PeriodicSampler::Config sampler_cfg;
+      sampler_cfg.every = every;
+      engine.sampler = std::make_unique<obs::PeriodicSampler>(
+          engine.sim, sampler_cfg, config.seed, engine.self);
+      FleetEngine* e = &engine;
+      engine.sampler->add_series("fleet.queue_depth", [e] {
+        double total = 0.0;
+        for (const auto& s : e->servers) total += double(e->load_of(s));
+        return total;
+      });
+      engine.sampler->add_series("fleet.inflight",
+                                 [e] { return double(e->inflight); });
+      engine.sampler->add_series("fleet.slo_attainment", [e] {
+        const std::uint64_t n = e->report.e2e_ms.count();
+        return n == 0 ? 1.0 : double(e->report.within_slo) / double(n);
+      });
+      for (std::uint32_t k = 0; k < engine.servers.size(); ++k) {
+        engine.sampler->add_series(
+            "server" + std::to_string(k) + ".queue_depth",
+            [e, k] { return double(e->load_of(e->servers[k])); });
+      }
+      engine.sampler->start();
+    }
+  }
 }
 
 /// Append the engine's per-server rows to `report` and fold its request
@@ -535,6 +606,14 @@ void collect_servers(const FleetEngine& engine, FleetStudy::Report& report,
     report.completed += state.server->completed();
     report.dropped += state.server->dropped();
     report.batches += state.server->batches_launched();
+    // Serving counters are published once per run from the existing
+    // server accessors — the slab submit/complete path itself carries
+    // zero probe instructions.
+    SIXG_OBS_COUNT(obs::Metric::kServeSubmitted, state.server->submitted());
+    SIXG_OBS_COUNT(obs::Metric::kServeCompleted, state.server->completed());
+    SIXG_OBS_COUNT(obs::Metric::kServeDropped, state.server->dropped());
+    SIXG_OBS_COUNT(obs::Metric::kServeBatches,
+                   state.server->batches_launched());
   }
 }
 
@@ -552,6 +631,18 @@ void init_streaming_report(FleetStudy::Report& report,
   report.e2e_hist.emplace(0.0, config.hist_hi_ms, config.hist_bins);
 }
 
+/// Publish the end-of-run e2e distribution to the obs runtime.
+void publish_fleet_distribution(const FleetStudy::Report& report,
+                                std::uint64_t key) {
+  if (!(obs::kProbesCompiled && obs::metrics_on())) return;
+  obs::Distribution dist;
+  dist.name = "fleet.e2e_ms";
+  dist.key = key;
+  dist.hist = *report.e2e_hist;
+  dist.quantiles = report.e2e_q;
+  obs::Runtime::instance().publish_distribution(std::move(dist));
+}
+
 }  // namespace
 
 FleetStudy::Report FleetStudy::run(const Config& config) {
@@ -564,6 +655,8 @@ FleetStudy::Report FleetStudy::run(const Config& config) {
   setup_engine(engine, config);
   sim.run();
 
+  if (engine.sampler) engine.sampler->publish();
+  publish_fleet_distribution(report, config.seed);
   collect_servers(engine, report, "");
   if (report.completed > 0) {
     engine.energy_sum /= double(report.completed);
@@ -621,6 +714,13 @@ ShardedFleetStudy::Report ShardedFleetStudy::run(const Config& config) {
 
   kernel.run();
 
+  // Publish per-shard sampler series in fixed shard order (each is
+  // labeled by its shard index, so the export is worker-count
+  // invariant).
+  for (auto& eng : engines) {
+    if (eng->sampler) eng->sampler->publish();
+  }
+
   // Merge in fixed shard order — deterministic regardless of which
   // worker ran what. Shard 0's streaming report is the base, so a
   // 1-shard merge is the identity.
@@ -657,6 +757,7 @@ ShardedFleetStudy::Report ShardedFleetStudy::run(const Config& config) {
   report.shards = config.shards;
   report.windows = kernel.windows();
   report.mailbox_messages = kernel.messages();
+  publish_fleet_distribution(report, config.shard.seed);
   return report;
 }
 

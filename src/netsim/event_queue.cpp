@@ -14,6 +14,7 @@ EventQueue::EventQueue() = default;
 
 void EventQueue::push(TimePoint when, std::uint64_t seq,
                       InplaceAction action) {
+  ++pushes_;
   std::uint32_t slot;
   if (free_.empty()) {
     slot = std::uint32_t(slab_.size());
@@ -88,6 +89,7 @@ void EventQueue::sift_down(const Key item) {
 }
 
 void EventQueue::park(const Key& key, std::uint64_t tick) {
+  ++parks_;
   Calendar& cal = *calendar_;
   const int level = wheel::level_for(tick, cal.tick);
   const std::uint32_t slot = wheel::slot_for(tick, level);

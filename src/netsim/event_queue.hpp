@@ -78,6 +78,14 @@ class EventQueue {
   /// Remove and return the earliest event.
   ScheduledEvent pop();
 
+  /// Lifetime push count (heap + calendar). The observability layer
+  /// reads these as once-per-run deltas; they are plain members like the
+  /// servers' counters, not probes — the hot path stays probe-free.
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+  /// Lifetime count of pushes parked in the calendar (heap pushes are
+  /// pushes() - parks()).
+  [[nodiscard]] std::uint64_t parks() const { return parks_; }
+
  private:
   struct Key {
     std::int64_t when_ns;
@@ -138,6 +146,8 @@ class EventQueue {
   }
   void settle_slow();
 
+  std::uint64_t pushes_ = 0;              ///< lifetime push() calls
+  std::uint64_t parks_ = 0;               ///< pushes that parked
   std::vector<Key> keys_;                 ///< near-term 4-ary heap
   std::vector<InplaceAction> slab_;       ///< action payloads, by slot
   std::vector<std::uint32_t> free_;       ///< recycled slab slots

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace sixg::netsim {
 
 ParallelRunner::ParallelRunner(unsigned threads)
@@ -44,7 +46,18 @@ void ParallelRunner::run_chunked(
   const unsigned n = unsigned(std::min<std::size_t>(threads_, chunk_count));
   std::vector<std::thread> pool;
   pool.reserve(n - 1);
-  for (unsigned t = 0; t + 1 < n; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t + 1 < n; ++t) {
+    // Spawned workers get their own metric scope: probe counters from
+    // replication jobs sum commutatively at scenario end, so the merged
+    // metrics are thread-count invariant. The calling thread keeps its
+    // existing binding (usually the main scope).
+    pool.emplace_back([&worker] {
+      const obs::ScopeBind bind(obs::probes_enabled()
+                                    ? obs::Runtime::instance().thread_scope()
+                                    : nullptr);
+      worker();
+    });
+  }
   worker();  // calling thread participates
   for (auto& t : pool) t.join();
 }

@@ -2,14 +2,24 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/obs.hpp"
 
 namespace sixg::netsim {
+
+namespace {
+[[nodiscard]] std::uint64_t steady_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+}  // namespace
 
 /// Persistent worker pool: one barrier generation per window. Workers
 /// sleep on a condition variable between windows; per window the
@@ -19,10 +29,14 @@ namespace sixg::netsim {
 /// mutex hand-offs give the mailbox reads after the barrier a
 /// happens-before edge over every shard executed in the window.
 struct ShardedSimulator::Pool {
-  explicit Pool(ShardedSimulator& owner, unsigned workers) : sharded(owner) {
+  explicit Pool(ShardedSimulator& owner, unsigned workers)
+      : sharded(owner), stats(workers) {
+    if (obs::kProbesCompiled && obs::metrics_on()) {
+      pool_id = obs::Runtime::instance().next_pool_id();
+    }
     threads.reserve(workers - 1);
     for (unsigned t = 0; t + 1 < workers; ++t) {
-      threads.emplace_back([this] { worker_loop(); });
+      threads.emplace_back([this, self = t + 1] { worker_loop(self); });
     }
   }
 
@@ -33,9 +47,10 @@ struct ShardedSimulator::Pool {
     }
     cv_work.notify_all();
     for (auto& t : threads) t.join();
+    publish_profile();
   }
 
-  void worker_loop() {
+  void worker_loop(unsigned self) {
     std::uint64_t seen = 0;
     for (;;) {
       {
@@ -44,13 +59,48 @@ struct ShardedSimulator::Pool {
         if (shutdown) return;
         seen = epoch;
       }
-      sharded.run_claimed();
+      // profile_ and bind_scopes_ are written by the coordinator before
+      // the epoch bump; the mutex hand-off above makes them visible.
+      if (sharded.profile_) {
+        const std::uint64_t t0 = steady_ns();
+        sharded.run_claimed();
+        stats[self].busy_ns += steady_ns() - t0;
+        ++stats[self].windows;
+      } else {
+        sharded.run_claimed();
+      }
       {
         const std::lock_guard<std::mutex> lock(mu);
         if (--remaining == 0) cv_done.notify_one();
       }
     }
   }
+
+  /// Hand the wall-clock busy/stall rows to the obs runtime. Stall is
+  /// the window wall time a participant spent NOT executing shards —
+  /// barrier waiting plus claim overhead. Explicitly non-deterministic;
+  /// the runtime exports it outside the determinism-checked sections.
+  void publish_profile() {
+    if (wall_ns == 0) return;
+    std::vector<obs::WorkerProfile> rows;
+    rows.reserve(stats.size());
+    for (std::uint32_t w = 0; w < stats.size(); ++w) {
+      obs::WorkerProfile row;
+      row.pool = pool_id;
+      row.worker = w;
+      row.busy_ns = stats[w].busy_ns;
+      row.stall_ns = wall_ns > stats[w].busy_ns ? wall_ns - stats[w].busy_ns
+                                                : 0;
+      row.windows = stats[w].windows;
+      rows.push_back(row);
+    }
+    obs::Runtime::instance().publish_workers(std::move(rows));
+  }
+
+  struct WorkerStat {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t windows = 0;
+  };
 
   ShardedSimulator& sharded;
   std::mutex mu;
@@ -61,6 +111,9 @@ struct ShardedSimulator::Pool {
   bool shutdown = false;
   std::atomic<std::uint32_t> cursor{0};
   std::vector<std::thread> threads;
+  std::vector<WorkerStat> stats;  ///< index 0 is the coordinator
+  std::uint64_t wall_ns = 0;      ///< profiled window wall time, summed
+  std::uint32_t pool_id = 0;
 };
 
 ShardedSimulator::ShardedSimulator(const Config& config) : config_(config) {
@@ -134,13 +187,20 @@ void ShardedSimulator::run_claimed() {
     const std::uint32_t k =
         pool_->cursor.fetch_add(1, std::memory_order_relaxed);
     if (k >= shards_.size()) return;
+    // Shard k's probes always land in shard k's scope, regardless of
+    // which worker claimed it — the merged metrics (and the per-shard
+    // trace streams) stay byte-identical at any worker count.
+    const obs::ScopeBind bind(bind_scopes_ ? scopes_[k] : nullptr);
     shards_[k]->sim.run_until(horizon_);
   }
 }
 
 void ShardedSimulator::execute_shards() {
   if (workers_ <= 1) {
-    for (auto& shard : shards_) shard->sim.run_until(horizon_);
+    for (std::uint32_t k = 0; k < shards_.size(); ++k) {
+      const obs::ScopeBind bind(bind_scopes_ ? scopes_[k] : nullptr);
+      shards_[k]->sim.run_until(horizon_);
+    }
     return;
   }
   if (pool_ == nullptr) pool_ = std::make_unique<Pool>(*this, workers_);
@@ -151,13 +211,45 @@ void ShardedSimulator::execute_shards() {
     ++pool_->epoch;
   }
   pool_->cv_work.notify_all();
-  run_claimed();
-  std::unique_lock<std::mutex> lock(pool_->mu);
-  pool_->cv_done.wait(lock, [&] { return pool_->remaining == 0; });
+  if (profile_) {
+    const std::uint64_t w0 = steady_ns();
+    run_claimed();
+    const std::uint64_t busy = steady_ns() - w0;
+    pool_->stats[0].busy_ns += busy;
+    ++pool_->stats[0].windows;
+    std::unique_lock<std::mutex> lock(pool_->mu);
+    pool_->cv_done.wait(lock, [&] { return pool_->remaining == 0; });
+    pool_->wall_ns += steady_ns() - w0;
+  } else {
+    run_claimed();
+    std::unique_lock<std::mutex> lock(pool_->mu);
+    pool_->cv_done.wait(lock, [&] { return pool_->remaining == 0; });
+  }
 }
 
 void ShardedSimulator::step_window(TimePoint horizon) {
+  if (obs::kProbesCompiled) {
+    // Latch per-window observability decisions on the coordinator; the
+    // pool's epoch mutex publishes them to workers.
+    bind_scopes_ = obs::probes_enabled();
+    profile_ = obs::metrics_on() && workers_ > 1;
+    if (bind_scopes_ && scopes_.empty()) {
+      scopes_.resize(shards_.size());
+      auto& rt = obs::Runtime::instance();
+      for (std::uint32_t k = 0; k < shards_.size(); ++k) {
+        scopes_[k] = rt.shard_scope(k);
+      }
+    }
+  }
+  const std::uint64_t delivered0 = messages_;
   drain_mailboxes();
+  const std::uint64_t delivered = messages_ - delivered0;
+  SIXG_OBS_COUNT(obs::Metric::kShardMessages, delivered);
+  SIXG_OBS_HIST(obs::Metric::kHistDrainMessages, delivered);
+  SIXG_OBS_COUNT(obs::Metric::kShardWindows, 1);
+  SIXG_OBS_INSTANT(obs::TraceName::kDrain, now_.ns(), delivered);
+  SIXG_OBS_SPAN(obs::TraceName::kWindow, now_.ns(), (horizon - now_).ns(),
+                windows_);
   horizon_ = horizon;
   running_ = true;
   execute_shards();
@@ -167,10 +259,14 @@ void ShardedSimulator::step_window(TimePoint horizon) {
 }
 
 void ShardedSimulator::run() {
+  SIXG_OBS_GAUGE(obs::Metric::kShardLookaheadNs, double(config_.window.ns()));
+  SIXG_OBS_GAUGE(obs::Metric::kShardShards, double(shards_.size()));
   while (has_work()) step_window(now_ + config_.window);
 }
 
 void ShardedSimulator::run_until(TimePoint horizon) {
+  SIXG_OBS_GAUGE(obs::Metric::kShardLookaheadNs, double(config_.window.ns()));
+  SIXG_OBS_GAUGE(obs::Metric::kShardShards, double(shards_.size()));
   while (now_ < horizon) {
     const TimePoint next = now_ + config_.window;
     step_window(next < horizon ? next : horizon);

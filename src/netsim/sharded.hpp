@@ -31,6 +31,10 @@
 #include "common/time.hpp"
 #include "netsim/simulator.hpp"
 
+namespace sixg::obs {
+class Scope;
+}  // namespace sixg::obs
+
 namespace sixg::netsim {
 
 /// Stream salt for shard-local seed derivation (see shard_seed).
@@ -153,6 +157,15 @@ class ShardedSimulator {
   std::uint64_t windows_ = 0;
   std::uint64_t messages_ = 0;
   std::unique_ptr<Pool> pool_;  ///< lazily started on first parallel window
+
+  /// Observability: when probes are enabled, the coordinator latches
+  /// these before each window's epoch bump (the pool's mutex hand-off
+  /// makes them visible to workers). Shard k's probes land in shard k's
+  /// scope no matter which worker runs it — the per-shard-slot rule the
+  /// determinism contract needs.
+  bool bind_scopes_ = false;   ///< bind per-shard obs scopes this window
+  bool profile_ = false;       ///< wall-clock worker profiling this window
+  std::vector<obs::Scope*> scopes_;  ///< shard scope per shard, lazy
 };
 
 }  // namespace sixg::netsim

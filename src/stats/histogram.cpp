@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "stats/json.hpp"
 
 namespace sixg::stats {
 
@@ -16,6 +17,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) {
   ++total_;
+  if (!std::isfinite(x)) {
+    // size_t(NaN) and size_t(inf) are UB; classify explicitly. +inf is
+    // past every bin (overflow); NaN compares false with everything, so
+    // it lands with -inf in underflow — counted, never silently lost.
+    if (x > 0) {
+      ++overflow_;
+    } else {
+      ++underflow_;
+    }
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -104,6 +116,26 @@ std::string Histogram::str(std::size_t max_bar) const {
   std::string out;
   to(out, max_bar);
   return out;
+}
+
+void Histogram::to_json(std::string& out) const {
+  namespace js = sixg::stats::json;
+  out += "{\"lo\":";
+  js::append_number(out, lo_);
+  out += ",\"hi\":";
+  js::append_number(out, hi_);
+  out += ",\"count\":";
+  js::append_u64(out, total_);
+  out += ",\"underflow\":";
+  js::append_u64(out, underflow_);
+  out += ",\"overflow\":";
+  js::append_u64(out, overflow_);
+  out += ",\"bins\":[";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    js::append_u64(out, counts_[i]);
+  }
+  out += "]}";
 }
 
 void QuantileSample::merge(const QuantileSample& other) {

@@ -36,6 +36,11 @@ class Histogram {
   /// Append the str() rendering to `out` without intermediate strings.
   void to(std::string& out, std::size_t max_bar = 50) const;
 
+  /// Append a strict-JSON object: {"lo","hi","count","underflow",
+  /// "overflow","bins":[...]}. Non-finite bounds round-trip via the
+  /// stats/json.hpp sentinel-string encoding.
+  void to_json(std::string& out) const;
+
  private:
   double lo_;
   double hi_;

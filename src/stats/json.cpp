@@ -1,0 +1,78 @@
+#include "stats/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sixg::stats::json {
+
+void append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "\"NaN\"";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips every double; trim the common integral case.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+bool parse_non_finite(std::string_view s, double* out) {
+  if (s == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (s == "Infinity") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-Infinity") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sixg::stats::json

@@ -1,0 +1,32 @@
+/// @file json.hpp — strict-JSON emission helpers shared by the stats
+/// sinks and the observability exporter.
+///
+/// RFC 8259 has no NaN/Infinity literals, and a metrics file that a
+/// strict parser rejects is worse than no metrics file. The policy here
+/// (round-trippable, unlike the render_json "null" convention used for
+/// human-facing anchors): non-finite doubles are emitted as the JSON
+/// strings "NaN", "Infinity" and "-Infinity", and parse_non_finite()
+/// maps those strings back. scripts/validate_obs enforces the same
+/// convention from the consuming side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sixg::stats::json {
+
+/// Append `s` as a quoted JSON string, escaping per RFC 8259.
+void append_string(std::string& out, std::string_view s);
+
+/// Append a double: shortest round-trip decimal when finite, the quoted
+/// sentinel strings "NaN" / "Infinity" / "-Infinity" otherwise.
+void append_number(std::string& out, double v);
+
+void append_u64(std::string& out, std::uint64_t v);
+
+/// Inverse of the non-finite encoding: true (and *out set) when `s` is
+/// one of the sentinel strings append_number emits.
+[[nodiscard]] bool parse_non_finite(std::string_view s, double* out);
+
+}  // namespace sixg::stats::json

@@ -1,9 +1,12 @@
 #include "stats/reservoir.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "stats/histogram.hpp"
+#include "stats/json.hpp"
 
 namespace sixg::stats {
 
@@ -63,6 +66,32 @@ void ReservoirQuantile::merge(const ReservoirQuantile& other) {
       sorted_ = false;
     }
   }
+}
+
+void ReservoirQuantile::to_json(std::string& out) const {
+  namespace js = sixg::stats::json;
+  out += "{\"count\":";
+  js::append_u64(out, seen_);
+  out += ",\"cap\":";
+  js::append_u64(out, cap_);
+  out += ",\"exact\":";
+  out += exact() ? "true" : "false";
+  out += ",\"q\":{";
+  static constexpr std::pair<const char*, double> kProbes[] = {
+      {"p50", 0.5}, {"p90", 0.9}, {"p95", 0.95},
+      {"p99", 0.99}, {"p999", 0.999},
+  };
+  bool first = true;
+  for (const auto& [name, p] : kProbes) {
+    if (!first) out.push_back(',');
+    first = false;
+    js::append_string(out, name);
+    out.push_back(':');
+    js::append_number(out, data_.empty()
+                               ? std::numeric_limits<double>::quiet_NaN()
+                               : quantile(p));
+  }
+  out += "}}";
 }
 
 double ReservoirQuantile::quantile(double q) const {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -53,6 +54,11 @@ class ReservoirQuantile {
   /// order, so merging per-shard reservoirs in fixed shard order is
   /// reproducible at any worker count.
   void merge(const ReservoirQuantile& other);
+
+  /// Append a strict-JSON object: {"count","cap","exact","q":{...}}.
+  /// An empty reservoir exports quantiles as the round-trippable "NaN"
+  /// sentinel instead of asserting.
+  void to_json(std::string& out) const;
 
  private:
   std::size_t cap_;
