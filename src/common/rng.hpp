@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace sixg {
 
@@ -53,6 +54,30 @@ class Rng {
     state_[2] ^= t;
     state_[3] = rotl(state_[3], 45);
     return result;
+  }
+
+  /// Block generation: fill `out` with the next `out.size()` words of the
+  /// stream — the exact sequence `out.size()` calls of `operator()` would
+  /// produce, so block and scalar consumers interleave freely without
+  /// perturbing draw order. The state lives in locals across the loop so
+  /// the compiler keeps it in registers instead of reloading `this`.
+  void fill(std::span<std::uint64_t> out) {
+    std::uint64_t s0 = state_[0], s1 = state_[1], s2 = state_[2],
+                  s3 = state_[3];
+    for (std::uint64_t& word : out) {
+      word = rotl(s1 * 5, 7) * 9;
+      const std::uint64_t t = s1 << 17;
+      s2 ^= s0;
+      s3 ^= s1;
+      s1 ^= s2;
+      s0 ^= s3;
+      s2 ^= t;
+      s3 = rotl(s3, 45);
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
   }
 
   /// Uniform double in [0, 1).

@@ -994,27 +994,23 @@ ScenarioResult atlas_design(const RunContext& ctx) {
 
 // ------------------------------------------------- edge AI inference
 
-/// One-way network delay sampler request-path style: radio uplink into
-/// the access network, then the wired path to the serving site. The
-/// wired leg is a compiled path, so the per-request draw inside the
-/// serving loop does no Network lookups.
-edgeai::ServingStudy::DelaySampler uplink_sampler(
-    const radio::RadioLinkModel& radio_model,
-    const radio::CellConditions& conditions, topo::CompiledPath path) {
-  return [&radio_model, conditions, path = std::move(path)](Rng& rng) {
-    return radio_model.sample_uplink(conditions, rng) +
-           path.sample_one_way(rng);
-  };
+/// One-way network leg request-path style: radio uplink into the access
+/// network, then the wired path to the serving site. A structured
+/// NetLeg, so the serving engines batch the wired draws through the
+/// vectorized sampling lane (bit-identical to the old closure).
+edgeai::NetLeg uplink_sampler(const radio::RadioLinkModel& radio_model,
+                              const radio::CellConditions& conditions,
+                              topo::CompiledPath path) {
+  return edgeai::NetLeg::radio_then_path(radio_model, conditions,
+                                         std::move(path));
 }
 
 /// Response path: wired path back, then the radio downlink to the UE.
-edgeai::ServingStudy::DelaySampler downlink_sampler(
-    const radio::RadioLinkModel& radio_model,
-    const radio::CellConditions& conditions, topo::CompiledPath path) {
-  return [&radio_model, conditions, path = std::move(path)](Rng& rng) {
-    return path.sample_one_way(rng) +
-           radio_model.sample_downlink(conditions, rng);
-  };
+edgeai::NetLeg downlink_sampler(const radio::RadioLinkModel& radio_model,
+                                const radio::CellConditions& conditions,
+                                topo::CompiledPath path) {
+  return edgeai::NetLeg::path_then_radio(radio_model, conditions,
+                                         std::move(path));
 }
 
 ScenarioResult edge_inference_latency(const RunContext& ctx) {
@@ -1744,12 +1740,8 @@ ScenarioResult city_serving_sharded(const RunContext& ctx) {
     config.workers = workers;
     config.window = window;
     config.remote_fraction = kRemoteFraction;
-    config.remote_uplink = [interpod](Rng& rng) {
-      return interpod.sample_one_way(rng);
-    };
-    config.remote_downlink = [interpod](Rng& rng) {
-      return interpod.sample_one_way(rng);
-    };
+    config.remote_uplink = edgeai::NetLeg::wired(interpod);
+    config.remote_downlink = edgeai::NetLeg::wired(interpod);
     return config;
   };
 

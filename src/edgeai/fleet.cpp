@@ -87,6 +87,26 @@ struct FleetEngine {
   Rng downlink_rng;
   stats::ShiftedExponential interarrival;
 
+  // Batch-sampling lane (see ServingEngine in serving.cpp for the
+  // determinism argument: dedicated streams, bit-identical values, only
+  // a harmless trailing overdraw). The leg blocks engage only when EVERY
+  // networked server's leg draws identically — all networked servers
+  // share the uplink (resp. downlink) stream, so one differing or opaque
+  // leg forces the whole stream back to scalar per-request draws.
+  static constexpr std::size_t kBlock = 256;
+  topo::PathBatchScratch scratch;
+  std::vector<double> arrival_sec;
+  std::vector<Duration> uplink_block;
+  std::vector<Duration> downlink_block;
+  std::vector<Duration> remote_down_block;
+  std::size_t arrival_next = 0;
+  std::size_t uplink_next = 0;
+  std::size_t downlink_next = 0;
+  std::size_t remote_down_next = 0;
+  const NetLeg* shared_uplink = nullptr;    ///< non-null = block engaged
+  const NetLeg* shared_downlink = nullptr;  ///< non-null = block engaged
+  bool batch_remote_down = false;
+
   /// Slot-recycled request records: in-flight requests are bounded by
   /// the fleet's queue capacities (plus events in the pipe), not by the
   /// run length, so the slab grows to the high-water mark and slots are
@@ -122,8 +142,8 @@ struct FleetEngine {
   std::uint32_t self = 0;
   std::uint32_t shard_count = 1;
   double remote_fraction = 0.0;
-  const FleetStudy::DelaySampler* remote_uplink = nullptr;
-  const FleetStudy::DelaySampler* remote_downlink = nullptr;
+  const NetLeg* remote_uplink = nullptr;
+  const NetLeg* remote_downlink = nullptr;
   Duration window;  ///< conservative window (drop notices ride it)
   Rng remote_route_rng;
   Rng remote_down_rng;
@@ -146,6 +166,84 @@ struct FleetEngine {
     uplink_j = cfg.energy.radio.tx_watts * up_airtime.sec();
     downlink_j = cfg.energy.radio.rx_watts * down_airtime.sec();
     tx_rx_airtime = up_airtime + down_airtime;
+    arrival_sec.resize(kBlock);
+    arrival_next = kBlock;  // empty: first draw refills
+  }
+
+  /// Engage the leg blocks where provably safe. Called by setup_engine
+  /// once the server pool (and, in sharded runs, the remote wiring) is
+  /// final.
+  void init_batch_lane() {
+    const NetLeg* shared[2] = {nullptr, nullptr};
+    bool engaged[2] = {true, true};
+    for (const ServerState& s : servers) {
+      if (!s.networked) continue;  // draws nothing from either stream
+      const NetLeg* legs[2] = {&s.spec->uplink, &s.spec->downlink};
+      for (int dir = 0; dir < 2; ++dir) {
+        if (!legs[dir]->batchable())
+          engaged[dir] = false;
+        else if (!shared[dir])
+          shared[dir] = legs[dir];
+        else if (!shared[dir]->same_draws_as(*legs[dir]))
+          engaged[dir] = false;
+      }
+    }
+    if (engaged[0] && shared[0]) {
+      shared_uplink = shared[0];
+      uplink_block.resize(kBlock);
+      uplink_next = kBlock;
+    }
+    if (engaged[1] && shared[1]) {
+      shared_downlink = shared[1];
+      downlink_block.resize(kBlock);
+      downlink_next = kBlock;
+    }
+    // remote_uplink can NEVER batch: its draws interleave with the
+    // remote coin and the pod pick on remote_route_rng, so pre-drawing
+    // would desync that stream. remote_down_rng is dedicated (downlink
+    // draws in completion order), so the downlink leg batches freely.
+    if (remote_fraction > 0.0 && shard_count > 1 && remote_downlink &&
+        *remote_downlink && remote_downlink->batchable()) {
+      batch_remote_down = true;
+      remote_down_block.resize(kBlock);
+      remote_down_next = kBlock;
+    }
+  }
+
+  [[nodiscard]] Duration next_interarrival() {
+    if (arrival_next == arrival_sec.size()) {
+      interarrival.sample_into(arrival_sec, arrival_rng);
+      arrival_next = 0;
+    }
+    return Duration::from_seconds_f(arrival_sec[arrival_next++]);
+  }
+
+  [[nodiscard]] Duration next_uplink(const ServerState& target) {
+    if (!shared_uplink) return target.spec->uplink(uplink_rng);
+    if (uplink_next == uplink_block.size()) {
+      shared_uplink->sample_into(uplink_block, uplink_rng, scratch);
+      uplink_next = 0;
+    }
+    return uplink_block[uplink_next++];
+  }
+
+  [[nodiscard]] Duration next_downlink(const ServerState& from) {
+    if (!shared_downlink) return from.spec->downlink(downlink_rng);
+    if (downlink_next == downlink_block.size()) {
+      shared_downlink->sample_into(downlink_block, downlink_rng, scratch);
+      downlink_next = 0;
+    }
+    return downlink_block[downlink_next++];
+  }
+
+  [[nodiscard]] Duration next_remote_down() {
+    if (!batch_remote_down) return (*remote_downlink)(remote_down_rng);
+    if (remote_down_next == remote_down_block.size()) {
+      remote_downlink->sample_into(remote_down_block, remote_down_rng,
+                                   scratch);
+      remote_down_next = 0;
+    }
+    return remote_down_block[remote_down_next++];
   }
 
   [[nodiscard]] std::uint32_t acquire_slot() {
@@ -304,8 +402,7 @@ void FleetEngine::on_arrival() {
   if (++spawned < config.requests) {
     // Chain the next arrival first (same tie discipline as the
     // single-server engine).
-    const Duration delta =
-        Duration::from_seconds_f(interarrival.sample(arrival_rng));
+    const Duration delta = next_interarrival();
     sim.schedule_at(sim.now() + delta, FleetArrivalEvent{this});
   }
   const std::uint32_t slot = acquire_slot();
@@ -326,8 +423,7 @@ void FleetEngine::on_arrival() {
   ServerState& target = servers[k];
   ++target.dispatched;
   const Duration up =
-      target.networked ? target.spec->uplink(uplink_rng) + up_airtime
-                       : Duration{};
+      target.networked ? next_uplink(target) + up_airtime : Duration{};
   if (up.is_zero()) {
     on_submit(slot, k, up);
     return;
@@ -386,7 +482,7 @@ void FleetEngine::on_complete(std::uint32_t server, std::uint32_t slot,
     // then post the result back to the owning timeline.
     const std::uint32_t origin = std::uint32_t(origin_tag) - 1;
     from.queue_ms.add(completion.queue_wait().ms());
-    const Duration down = (*remote_downlink)(remote_down_rng) + down_airtime;
+    const Duration down = next_remote_down() + down_airtime;
     const Duration net =
         Duration::nanos(std::int64_t(payload & kUplinkMask)) + down;
     sharded->post(
@@ -401,8 +497,7 @@ void FleetEngine::on_complete(std::uint32_t server, std::uint32_t slot,
               "fleet completion for a slot that is not queued");
   slab.state[slot] = RequestSlab::State::kDownlink;
   const Duration down =
-      from.networked ? from.spec->downlink(downlink_rng) + down_airtime
-                     : Duration{};
+      from.networked ? next_downlink(from) + down_airtime : Duration{};
   const Duration net = Duration::nanos(std::int64_t(payload)) + down;
   if (down.is_zero()) {
     on_record(slot, server, completion.batch_size, net,
@@ -542,9 +637,9 @@ void setup_engine(FleetEngine& engine, const FleetStudy::Config& config) {
     engine.tier_group_end.push_back(std::uint32_t(engine.tier_order.size()));
   }
 
-  const Duration first = Duration::from_seconds_f(
-      engine.interarrival.sample(engine.arrival_rng));
-  engine.sim.schedule_at(TimePoint{} + first, FleetArrivalEvent{&engine});
+  engine.init_batch_lane();
+  engine.sim.schedule_at(TimePoint{} + engine.next_interarrival(),
+                         FleetArrivalEvent{&engine});
 
   // Observability sampler: rides the engine's own timeline, reads only
   // this engine's state, and is stopped by the engine's last slot

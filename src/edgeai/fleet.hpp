@@ -43,16 +43,19 @@ class FleetStudy {
  public:
   using DelaySampler = ServingStudy::DelaySampler;
 
-  /// One server of the fleet. Network samplers are per server (the hop
-  /// to an edge site differs from the WAN detour to a cloud region);
-  /// both set or both null (on-device tier), as in ServingStudy.
+  /// One server of the fleet. Network legs are per server (the hop to
+  /// an edge site differs from the WAN detour to a cloud region); both
+  /// set or both null (on-device tier), as in ServingStudy. When every
+  /// networked server's legs draw identically (NetLeg::same_draws_as —
+  /// the common "N identical edge GPUs behind one path" fleet), the
+  /// engine serves them all from one pre-drawn vectorized block.
   struct ServerSpec {
     std::string name;  ///< row label; defaults to "tier-N" when empty
     AcceleratorProfile accelerator = AcceleratorProfile::edge_gpu();
     AcceleratorServer::BatchingConfig batching;
     ExecutionTier tier = ExecutionTier::kEdge;
-    DelaySampler uplink;
-    DelaySampler downlink;
+    NetLeg uplink;
+    NetLeg downlink;
   };
 
   struct Config {
@@ -151,9 +154,11 @@ class ShardedFleetStudy {
     /// (0 = fully partitioned city, shards never interact).
     double remote_fraction = 0.0;
     /// Inter-pod network legs for remote requests; both set or both
-    /// null. Their latency floor must be >= `window`.
-    FleetStudy::DelaySampler remote_uplink;
-    FleetStudy::DelaySampler remote_downlink;
+    /// null. Their latency floor must be >= `window`. The uplink leg is
+    /// always drawn scalar (its stream interleaves with the remote coin
+    /// and pod pick); the downlink leg batches when structured.
+    NetLeg remote_uplink;
+    NetLeg remote_downlink;
   };
 
   struct Report : FleetStudy::Report {

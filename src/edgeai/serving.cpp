@@ -56,6 +56,23 @@ struct ServingEngine {
   Rng downlink_rng;
   stats::ShiftedExponential interarrival;
 
+  // Batch-sampling lane: each dedicated stream is pre-drawn a block at a
+  // time through the vectorized samplers. Values and draw order are
+  // bit-identical to per-request draws; pre-drawing merely advances a
+  // stream early, which no other consumer shares (the trailing overdraw
+  // at run end lands in a discarded stream). Blocks and scratch are
+  // sized once — zero allocations per request in steady state.
+  static constexpr std::size_t kBlock = 256;
+  topo::PathBatchScratch scratch;
+  std::vector<double> arrival_sec;
+  std::vector<Duration> uplink_block;
+  std::vector<Duration> downlink_block;
+  std::size_t arrival_next = 0;
+  std::size_t uplink_next = 0;
+  std::size_t downlink_next = 0;
+  bool batch_uplink = false;
+  bool batch_downlink = false;
+
   RequestSlab slab;
   ServingStudy::Report& report;
   EnergyBreakdown energy_sum;
@@ -100,6 +117,44 @@ struct ServingEngine {
       idle_watts = cfg.energy.radio.idle_watts;
       tx_rx_airtime = tx + rx;
     }
+    arrival_sec.resize(kBlock);
+    arrival_next = kBlock;  // empty: first draw refills
+    batch_uplink = networked && cfg.uplink.batchable();
+    batch_downlink = networked && cfg.downlink.batchable();
+    if (batch_uplink) {
+      uplink_block.resize(kBlock);
+      uplink_next = kBlock;
+    }
+    if (batch_downlink) {
+      downlink_block.resize(kBlock);
+      downlink_next = kBlock;
+    }
+  }
+
+  [[nodiscard]] Duration next_interarrival() {
+    if (arrival_next == arrival_sec.size()) {
+      interarrival.sample_into(arrival_sec, arrival_rng);
+      arrival_next = 0;
+    }
+    return Duration::from_seconds_f(arrival_sec[arrival_next++]);
+  }
+
+  [[nodiscard]] Duration next_uplink() {
+    if (!batch_uplink) return config.uplink(uplink_rng);
+    if (uplink_next == uplink_block.size()) {
+      config.uplink.sample_into(uplink_block, uplink_rng, scratch);
+      uplink_next = 0;
+    }
+    return uplink_block[uplink_next++];
+  }
+
+  [[nodiscard]] Duration next_downlink() {
+    if (!batch_downlink) return config.downlink(downlink_rng);
+    if (downlink_next == downlink_block.size()) {
+      config.downlink.sample_into(downlink_block, downlink_rng, scratch);
+      downlink_next = 0;
+    }
+    return downlink_block[downlink_next++];
   }
 
   void on_arrival(std::uint32_t slot);
@@ -145,16 +200,14 @@ void ServingEngine::on_arrival(std::uint32_t slot) {
     // Chain the next arrival first: at an exact time tie this keeps the
     // arrival ahead of this request's serving events, the prescheduled
     // relative order.
-    const Duration delta =
-        Duration::from_seconds_f(interarrival.sample(arrival_rng));
+    const Duration delta = next_interarrival();
     sim.schedule_at(sim.now() + delta, ArrivalEvent{this, slot + 1});
   }
   SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kScheduled,
               "arrival fired twice for one slot");
   slab.state[slot] = RequestSlab::State::kUplink;
   slab.device_start[slot] = sim.now();
-  const Duration up =
-      networked ? config.uplink(uplink_rng) + up_airtime : Duration{};
+  const Duration up = networked ? next_uplink() + up_airtime : Duration{};
   if (up.is_zero() && config.chained_arrivals) {
     // On-device serving in the chained (million-request) mode: the
     // submit would fire at this very tick, so enqueue inline. This can
@@ -182,7 +235,7 @@ void ServingEngine::on_complete(
               "completion for a slot that is not queued");
   slab.state[slot] = RequestSlab::State::kDownlink;
   const Duration down =
-      networked ? config.downlink(downlink_rng) + down_airtime : Duration{};
+      networked ? next_downlink() + down_airtime : Duration{};
   const Duration net = Duration::nanos(std::int64_t(up_ns)) + down;
   if (down.is_zero()) {
     // A zero-length downlink would fire at this very tick, and the
@@ -252,17 +305,15 @@ ServingStudy::Report ServingStudy::run(const Config& config) {
       });
 
   if (config.chained_arrivals) {
-    const Duration first = Duration::from_seconds_f(
-        engine.interarrival.sample(engine.arrival_rng));
-    engine.sim.schedule_at(TimePoint{} + first, ArrivalEvent{&engine, 0});
+    engine.sim.schedule_at(TimePoint{} + engine.next_interarrival(),
+                           ArrivalEvent{&engine, 0});
   } else {
     // Legacy order: preschedule every arrival so arrival events take the
     // lowest kernel sequence numbers (ties resolve exactly as before the
     // slab refactor).
     Duration at;
     for (std::uint32_t i = 0; i < config.requests; ++i) {
-      at += Duration::from_seconds_f(
-          engine.interarrival.sample(engine.arrival_rng));
+      at += engine.next_interarrival();
       engine.sim.schedule_at(TimePoint{} + at, ArrivalEvent{&engine, i});
     }
   }

@@ -22,6 +22,7 @@
 #include "edgeai/accelerator.hpp"
 #include "edgeai/energy.hpp"
 #include "edgeai/model.hpp"
+#include "edgeai/net_leg.hpp"
 #include "stats/histogram.hpp"
 #include "stats/reservoir.hpp"
 #include "stats/summary.hpp"
@@ -31,9 +32,10 @@ namespace sixg::edgeai {
 /// Runs one inference-serving workload on one simulator timeline.
 class ServingStudy {
  public:
-  /// Samples one one-way network traversal (radio + wired path). A null
-  /// sampler means the hop does not exist (on-device serving).
-  using DelaySampler = std::function<Duration(Rng&)>;
+  /// Legacy alias: opaque callables still convert into a NetLeg (the
+  /// scalar-only kFn kind), so existing lambda-based configs compile
+  /// unchanged.
+  using DelaySampler = NetLeg::Fn;
 
   struct Config {
     ModelProfile model = ModelZoo::at("det-base");
@@ -43,11 +45,15 @@ class ServingStudy {
 
     double arrivals_per_second = 400.0;  ///< Poisson open-loop offered load
     std::uint32_t requests = 2000;       ///< arrivals to generate
-    /// Both set (offloaded serving: latency adds the hops, energy bills
-    /// the radio) or both null (on-device serving) — run() asserts the
-    /// pairing, since latency and energy accounting both key on it.
-    DelaySampler uplink;    ///< request path towards the server
-    DelaySampler downlink;  ///< response path back to the device
+    /// One-way network traversals (radio + wired path); a null leg means
+    /// the hop does not exist (on-device serving). Both set (offloaded
+    /// serving: latency adds the hops, energy bills the radio) or both
+    /// null — run() asserts the pairing, since latency and energy
+    /// accounting both key on it. Structured legs (NetLeg::wired /
+    /// radio_then_path / path_then_radio) ride the vectorized batch
+    /// sampling lane; opaque callables sample scalar, bit-identically.
+    NetLeg uplink;    ///< request path towards the server
+    NetLeg downlink;  ///< response path back to the device
     std::uint64_t seed = 1;
 
     /// Retain the raw per-request end-to-end samples (exact within(),

@@ -27,15 +27,18 @@ PingMeasurement::Result PingMeasurement::run(std::uint32_t count,
                                              Rng& rng) const {
   Result result;
   if (radio_ == nullptr) {
-    // Wired endpoint: batch the draws through the compiled path. The RNG
-    // consumption and the per-sample add order are identical to the
-    // scalar loop, so results are byte-equal at any chunk size.
+    // Wired endpoint: batch the draws through the compiled path's
+    // vectorized lane. The RNG consumption and the per-sample add order
+    // are identical to the scalar loop, so results are byte-equal at any
+    // chunk size. One scratch for the whole run: sized on the first
+    // chunk, reused for every refill.
     double chunk[256];
+    topo::PathBatchScratch scratch;
     std::uint32_t done = 0;
     while (done < count) {
       const std::uint32_t n =
           std::min<std::uint32_t>(256, count - done);
-      compiled_.sample_rtt_into({chunk, n}, rng);
+      compiled_.sample_rtt_into({chunk, n}, rng, scratch);
       for (std::uint32_t i = 0; i < n; ++i) {
         result.summary_ms.add(chunk[i]);
         result.quantiles_ms.add(chunk[i]);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/rng.hpp"
 
@@ -42,6 +43,13 @@ class ShiftedExponential {
       : shift_(shift), mean_excess_(mean_excess) {}
 
   [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Batched draw: `out[i]` is bit-identical to the i-th `sample(rng)`
+  /// call and the RNG advances by exactly `out.size()` words, so block
+  /// and scalar callers interleave freely. Routes the logs through the
+  /// vectorized `fast_log_batch` lane.
+  void sample_into(std::span<double> out, Rng& rng) const;
+
   [[nodiscard]] double mean() const { return shift_ + mean_excess_; }
 
  private:

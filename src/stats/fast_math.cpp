@@ -273,3 +273,137 @@ const FastLogCell kFastLogTable[256] = {
 };
 
 }  // namespace sixg::stats::detail
+
+// ------------------------------------------------------------------- batch
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/assert.hpp"
+
+namespace sixg::stats {
+
+namespace detail {
+
+#if SIXG_SIMD_AVX2
+// Defined in fast_math_avx2.cpp (compiled -mavx2 -ffp-contract=off).
+void fast_log_batch_avx2(const double* x, double* out, std::size_t n);
+#endif
+
+namespace {
+
+void fast_log_batch_scalar(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = fast_log_positive_normal(x[i]);
+}
+
+// Structure-of-lanes transcription of the scalar kernel, four elements per
+// iteration. Each lane performs the scalar operation sequence verbatim
+// (memcpy bit-casts, same polynomial association), so results are
+// bit-identical; the unrolled shape lets the compiler keep four
+// independent dependency chains in flight even without -mavx2.
+void fast_log_batch_portable(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::uint64_t ix[4];
+    std::memcpy(ix, x + i, 32);
+    double k[4], z[4], invc[4], lhi[4];
+    for (int l = 0; l < 4; ++l) {
+      const std::uint64_t tmp = ix[l] - kFastLogOff;
+      const auto cell = std::size_t((tmp >> 44) & 255);
+      k[l] = double(std::int64_t(tmp) >> 52);
+      const std::uint64_t iz = ix[l] - (tmp & (0xfffULL << 52));
+      std::memcpy(&z[l], &iz, 8);
+      invc[l] = kFastLogTable[cell].invc;
+      lhi[l] = kFastLogTable[cell].lhi;
+    }
+    for (int l = 0; l < 4; ++l) {
+      const double r = z[l] * invc[l] - 1.0;
+      const double r2 = r * r;
+      const double qa = -0.5 + r * 0x1.5555555555555p-2;
+      const double qb = -0x1p-2 + r * 0x1.999999999999ap-3;
+      const double p = r2 * (qa + r2 * qb);
+      out[i + l] = (k[l] * kFastLogLn2 + lhi[l]) + (r + p);
+    }
+  }
+  for (; i < n; ++i) out[i] = fast_log_positive_normal(x[i]);
+}
+
+SimdTier clamp_to_best(SimdTier tier) {
+  return tier <= best_simd_tier() ? tier : best_simd_tier();
+}
+
+SimdTier initial_tier() {
+  if (const char* env = std::getenv("SIXG_SIMD")) {
+    const std::string_view v{env};
+    if (v == "off" || v == "scalar") return SimdTier::kScalar;
+    if (v == "portable") return SimdTier::kPortable;
+    if (v == "avx2") return clamp_to_best(SimdTier::kAvx2);
+    // Unrecognized value: fall through to the default rather than abort —
+    // the env knob is a diagnostic override, not configuration.
+  }
+  return best_simd_tier();
+}
+
+std::atomic<SimdTier>& tier_state() {
+  static std::atomic<SimdTier> tier{initial_tier()};
+  return tier;
+}
+
+}  // namespace
+}  // namespace detail
+
+const char* simd_tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kPortable: return "portable";
+    case SimdTier::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool simd_tier_available(SimdTier tier) {
+  return tier <= best_simd_tier();
+}
+
+SimdTier best_simd_tier() {
+#if SIXG_SIMD_AVX2
+  static const bool have_avx2 = __builtin_cpu_supports("avx2");
+  if (have_avx2) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kPortable;
+}
+
+SimdTier simd_tier() {
+  return detail::tier_state().load(std::memory_order_relaxed);
+}
+
+SimdTier force_simd_tier(SimdTier tier) {
+  const SimdTier installed = detail::clamp_to_best(tier);
+  detail::tier_state().store(installed, std::memory_order_relaxed);
+  return installed;
+}
+
+void fast_log_batch(std::span<const double> x, std::span<double> out) {
+  SIXG_ASSERT(x.size() == out.size(), "fast_log_batch span size mismatch");
+  switch (simd_tier()) {
+    case SimdTier::kScalar:
+      detail::fast_log_batch_scalar(x.data(), out.data(), x.size());
+      return;
+    case SimdTier::kPortable:
+      detail::fast_log_batch_portable(x.data(), out.data(), x.size());
+      return;
+    case SimdTier::kAvx2:
+#if SIXG_SIMD_AVX2
+      detail::fast_log_batch_avx2(x.data(), out.data(), x.size());
+      return;
+#else
+      detail::fast_log_batch_portable(x.data(), out.data(), x.size());
+      return;
+#endif
+  }
+}
+
+double fp_contract_probe(double a, double b, double c) { return a * b + c; }
+
+}  // namespace sixg::stats

@@ -1,0 +1,75 @@
+/// @file fast_math_avx2.cpp — 4-lane AVX2 kernel for `fast_log_batch`.
+///
+/// This TU is the only one in the library compiled with -mavx2, and it is
+/// deliberately compiled WITHOUT -mfma and with -ffp-contract=off: the
+/// bit-equality contract with the scalar kernel requires every multiply
+/// and add to round separately, exactly as the scalar expression does.
+/// Each vector op below is the lane-wise IEEE-754 twin of one scalar op
+/// in `fast_log_positive_normal`, in the same order and association, so
+/// the lanes round identically to four independent scalar calls.
+///
+/// Non-obvious integer↔double moves (AVX2 has no 64-bit int→double
+/// conversion):
+///   * k = double(int64(tmp) >> 52): no 64-bit arithmetic shift either —
+///     shift logically by 52 (leaving a 12-bit value) and sign-extend via
+///     (v ^ 0x800) - 0x800.
+///   * small int64 → double: add the bit pattern of 1.5·2^52 as an
+///     integer (embedding v into the mantissa, exact for |v| < 2^51) and
+///     subtract 1.5·2^52 as a double.
+#include "stats/fast_math.hpp"
+
+#if SIXG_SIMD_AVX2
+
+#include <immintrin.h>
+
+namespace sixg::stats::detail {
+
+void fast_log_batch_avx2(const double* x, double* out, std::size_t n) {
+  const __m256i off = _mm256_set1_epi64x(std::int64_t(kFastLogOff));
+  const __m256i exp_mask = _mm256_set1_epi64x(std::int64_t(0xfffULL << 52));
+  const __m256i idx_mask = _mm256_set1_epi64x(255);
+  const __m256i sext_bias = _mm256_set1_epi64x(0x800);
+  const __m256i magic_i = _mm256_set1_epi64x(0x4338000000000000LL);
+  const __m256d magic_d = _mm256_set1_pd(0x1.8p52);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_half = _mm256_set1_pd(-0.5);
+  const __m256d neg_quarter = _mm256_set1_pd(-0x1p-2);
+  const __m256d c3 = _mm256_set1_pd(0x1.5555555555555p-2);
+  const __m256d c5 = _mm256_set1_pd(0x1.999999999999ap-3);
+  const __m256d ln2 = _mm256_set1_pd(kFastLogLn2);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i ix =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i tmp = _mm256_sub_epi64(ix, off);
+    const __m256i cell =
+        _mm256_and_si256(_mm256_srli_epi64(tmp, 44), idx_mask);
+    __m256i ki = _mm256_srli_epi64(tmp, 52);
+    ki = _mm256_sub_epi64(_mm256_xor_si256(ki, sext_bias), sext_bias);
+    const __m256d k = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_add_epi64(ki, magic_i)), magic_d);
+    const __m256d z = _mm256_castsi256_pd(
+        _mm256_sub_epi64(ix, _mm256_and_si256(tmp, exp_mask)));
+    // Gather the (invc, lhi) pair fields separately: cell stride is two
+    // doubles, so the element index is cell * 2 off each field's base.
+    const __m256i gidx = _mm256_slli_epi64(cell, 1);
+    const __m256d invc = _mm256_i64gather_pd(&kFastLogTable[0].invc, gidx, 8);
+    const __m256d lhi = _mm256_i64gather_pd(&kFastLogTable[0].lhi, gidx, 8);
+    const __m256d r = _mm256_sub_pd(_mm256_mul_pd(z, invc), one);
+    const __m256d r2 = _mm256_mul_pd(r, r);
+    const __m256d qa = _mm256_add_pd(neg_half, _mm256_mul_pd(r, c3));
+    const __m256d qb = _mm256_add_pd(neg_quarter, _mm256_mul_pd(r, c5));
+    const __m256d p =
+        _mm256_mul_pd(r2, _mm256_add_pd(qa, _mm256_mul_pd(r2, qb)));
+    const __m256d res =
+        _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(k, ln2), lhi),
+                      _mm256_add_pd(r, p));
+    _mm256_storeu_pd(out + i, res);
+  }
+  for (; i < n; ++i) out[i] = fast_log_positive_normal(x[i]);
+}
+
+}  // namespace sixg::stats::detail
+
+#endif  // SIXG_SIMD_AVX2
