@@ -270,6 +270,13 @@ int main(int argc, char** argv) {
     if (s == nullptr) {
       std::fprintf(stderr, "sixg_run: unknown scenario '%s' (see --list)\n",
                    name.c_str());
+      const auto near = registry.suggest(name);
+      if (!near.empty()) {
+        std::fprintf(stderr, "  did you mean:");
+        for (const Scenario* cand : near)
+          std::fprintf(stderr, " %s", cand->name.c_str());
+        std::fprintf(stderr, "?\n");
+      }
       return 1;
     }
     selected.push_back(s);

@@ -43,6 +43,65 @@ std::vector<const Scenario*> ScenarioRegistry::list() const {
   return out;
 }
 
+namespace {
+
+/// Levenshtein distance, two-row rolling DP. Scenario names are short
+/// (tens of characters), so the quadratic cost is irrelevant.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::vector<const Scenario*> ScenarioRegistry::suggest(
+    std::string_view name, std::size_t limit) const {
+  struct Scored {
+    const Scenario* scenario;
+    std::size_t score;  ///< 0 = prefix match, else edit distance
+    std::size_t order;
+  };
+  // Distance cap: a suggestion should look like a typo of the input,
+  // not an unrelated name. Scale with length, floor of 2.
+  const std::size_t cap = std::max<std::size_t>(2, name.size() / 2);
+  std::vector<Scored> scored;
+  std::size_t order = 0;
+  for (const auto& s : scenarios_) {
+    std::size_t score;
+    if (!name.empty() &&
+        std::string_view(s.name).substr(0, name.size()) == name) {
+      score = 0;
+    } else {
+      score = edit_distance(name, s.name);
+      if (score > cap) {
+        ++order;
+        continue;
+      }
+    }
+    scored.push_back(Scored{&s, score, order++});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score != b.score ? a.score < b.score
+                                               : a.order < b.order;
+                   });
+  if (scored.size() > limit) scored.resize(limit);
+  std::vector<const Scenario*> out;
+  out.reserve(scored.size());
+  for (const Scored& s : scored) out.push_back(s.scenario);
+  return out;
+}
+
 ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry registry;
   return registry;

@@ -106,6 +106,14 @@ class ScenarioRegistry {
   /// and --run all are deterministic).
   [[nodiscard]] std::vector<const Scenario*> list() const;
 
+  /// Closest registered names to `name`, for "did you mean" hints on an
+  /// unknown --run argument. Prefix matches rank first, then smallest
+  /// Levenshtein distance (capped — wildly different names are not
+  /// suggestions); ties keep registration order. At most `limit`
+  /// entries, possibly none.
+  [[nodiscard]] std::vector<const Scenario*> suggest(
+      std::string_view name, std::size_t limit = 3) const;
+
   [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
 
   /// The process-wide registry the CLI and bench shims use.

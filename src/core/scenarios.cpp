@@ -22,6 +22,8 @@
 #include "edgeai/model.hpp"
 #include "edgeai/offload.hpp"
 #include "edgeai/serving.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "fivegcore/autoscale.hpp"
 #include "fivegcore/placement.hpp"
 #include "fivegcore/selector.hpp"
@@ -1795,6 +1797,299 @@ ScenarioResult city_serving_sharded(const RunContext& ctx) {
   return r;
 }
 
+// ------------------------------------------- faults and resilience
+
+ScenarioResult link_failure_sweep(const RunContext& ctx) {
+  ScenarioResult r;
+  topo::EuropeOptions fixed;
+  fixed.local_breakout = true;
+  fixed.local_peering = true;
+  auto world = topo::build_europe(fixed);  // mutable: links fail and heal
+  const auto src = world.mobile_ue;
+  const auto dst = world.university_probe;
+  const auto primary = world.net.find_path(src, dst);
+  SIXG_ASSERT(primary.valid(), "primary metro path must route");
+
+  // Seed-derived link fault schedule over the primary path's own links:
+  // each fibre cut forces policy routing onto a detour until the repair
+  // restores the same LinkId (and invalidates the memoized detour).
+  faults::FaultConfig fc;
+  fc.link_fail_rate_per_s = 0.12;
+  fc.link_mttr = Duration::millis(400);
+  fc.horizon = Duration::seconds(10);
+  fc.links = std::uint32_t(primary.links.size());
+  const auto plan = faults::FaultPlan::generate(fc, ctx.seed_for(0x11f));
+
+  Rng rtt_rng{ctx.seed_for(0x11f0)};
+  constexpr int kRttDraws = 256;
+  const auto mean_rtt_ms = [&](const topo::Path& path) {
+    double sum = 0.0;
+    for (int i = 0; i < kRttDraws; ++i)
+      sum += world.net.sample_rtt(path, rtt_rng).ms();
+    return sum / kRttDraws;
+  };
+
+  TextTable t{{"t (s)", "Event", "Link", "Hops", "Floor (ms)", "RTT (ms)"}};
+  t.set_align(1, TextTable::Align::kLeft);
+  t.set_align(2, TextTable::Align::kLeft);
+  // Labels snapshot now: link() asserts liveness, and rows must name
+  // links that are currently cut.
+  std::vector<std::string> labels;
+  for (const auto id : primary.links) {
+    const auto& l = world.net.link(id);
+    labels.push_back(world.net.node(l.a).name + " - " +
+                     world.net.node(l.b).name);
+  }
+  double worst_floor_ms = primary.base_one_way.ms();
+  const auto add_row = [&](double at_s, const char* event,
+                           std::uint32_t index) {
+    const std::string& label = labels[index];
+    const auto path = world.net.find_path(src, dst);
+    if (!path.valid()) {
+      t.add_row({TextTable::num(at_s, 3), event, label, "-", "-", "cut off"});
+      return;
+    }
+    const auto compiled = world.net.compile(path);  // post-mutation recompile
+    worst_floor_ms = std::max(worst_floor_ms, path.base_one_way.ms());
+    t.add_row({TextTable::num(at_s, 3), event, label,
+               TextTable::integer(std::int64_t(path.hop_count())),
+               TextTable::num(compiled.min_latency().ms(), 3),
+               TextTable::num(mean_rtt_ms(path), 3)});
+  };
+
+  // Execute the plan on an event kernel: the injector's hooks are the
+  // only place the topology mutates, exactly as a fleet run would do it.
+  netsim::Simulator sim;
+  faults::FaultInjector injector;
+  faults::FaultInjector::Hooks hooks;
+  hooks.link_down = [&](std::uint32_t link, Duration) {
+    world.net.remove_link(primary.links[link]);
+    add_row(sim.now().sec(), "fail", link);
+  };
+  hooks.link_up = [&](std::uint32_t link) {
+    world.net.restore_link(primary.links[link]);
+    add_row(sim.now().sec(), "restore", link);
+  };
+  injector.arm(sim, plan, std::move(hooks));
+  sim.run();
+  r.add_table(std::move(t),
+              strf("Fibre cuts on the %zu-hop metro path (rate %.2f /s per "
+                   "link, MTTR %.0f ms): reroute on fail, recompile on "
+                   "restore:",
+                   primary.links.size(), fc.link_fail_rate_per_s,
+                   fc.link_mttr.ms()));
+
+  const auto healed = world.net.find_path(src, dst);
+  const bool back_to_primary =
+      healed.valid() && healed.links == primary.links &&
+      healed.base_one_way.ns() == primary.base_one_way.ns();
+  r.add_anchor("link fault events executed", double(injector.fired()),
+               "every cut has a matching same-LinkId restore");
+  r.add_anchor("primary path floor (ms)", primary.base_one_way.ms(),
+               "the intact metro path");
+  r.add_anchor("worst detour floor (ms)", worst_floor_ms,
+               "policy routing around the cut costs latency, not loss");
+  r.add_anchor("path identical after all repairs (1 = yes)",
+               back_to_primary ? 1.0 : 0.0,
+               "restore_link revives the same LinkId and drops the memo");
+  return r;
+}
+
+ScenarioResult fleet_resilience_ablation(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto conditions = study.rem().at(*study.grid().parse_label("C2"));
+  topo::EuropeOptions fixed;
+  fixed.local_breakout = true;
+  fixed.local_peering = true;
+  const auto peered = topo::build_europe(fixed);
+  const radio::RadioLinkModel access{radio::AccessProfile::sixg()};
+  const auto edge_path =
+      peered.net.find_path(peered.mobile_ue, peered.university_probe);
+
+  constexpr double kCityLoad = 12000.0;
+  constexpr std::uint32_t kRequestsPerCell = 100000;
+
+  struct PolicyRow {
+    const char* name;
+    edgeai::ResilienceConfig res;
+  };
+  edgeai::ResilienceConfig retry;
+  retry.max_retries = 3;
+  retry.retry_backoff = Duration::micros(500);
+  edgeai::ResilienceConfig hedge;
+  hedge.hedge_delay = Duration::from_millis_f(15.0);
+  edgeai::ResilienceConfig both = retry;
+  both.hedge_delay = hedge.hedge_delay;
+  const PolicyRow policies[] = {
+      {"none", {}}, {"retry", retry}, {"hedge", hedge}, {"retry+hedge", both}};
+  const double crash_rates[] = {0.0, 0.1, 0.4};  // per server, per second
+
+  struct Cell {
+    std::size_t policy;
+    std::size_t rate;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t p = 0; p < std::size(policies); ++p)
+    for (std::size_t c = 0; c < std::size(crash_rates); ++c)
+      cells.push_back({p, c});
+
+  const Campaign campaign{ctx, 0xfa4e};
+  const auto reports = campaign.sweep<edgeai::FleetStudy::Report>(
+      cells.size(), [&](std::size_t i, std::uint64_t seed) {
+        edgeai::FleetStudy::Config config;
+        config.model = edgeai::ModelZoo::at("det-base");
+        config.policy = edgeai::DispatchPolicy::kJoinShortestQueue;
+        config.arrivals_per_second = kCityLoad;
+        config.requests = kRequestsPerCell;
+        config.slo = Duration::from_millis_f(20.0);
+        config.energy.uplink = DataRate::gbps(2);
+        config.energy.downlink = DataRate::gbps(4);
+        config.seed = seed;
+        for (std::size_t s = 0; s < 4; ++s) {
+          config.servers.push_back(
+              edge_server_spec(access, conditions, peered, edge_path));
+        }
+        config.faults.server_crash_rate_per_s = crash_rates[cells[i].rate];
+        config.faults.server_mttr = Duration::millis(150);
+        config.resilience = policies[cells[i].policy].res;
+        return edgeai::FleetStudy::run(config);
+      });
+
+  TextTable t{{"Policy", "Crash (/s)", "Avail", "<= 20 ms SLO",
+               "Goodput (/s)", "Lost", "Retries", "Hedge wins"}};
+  t.set_align(0, TextTable::Align::kLeft);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& rep = reports[i];
+    t.add_row({policies[cells[i].policy].name,
+               TextTable::num(crash_rates[cells[i].rate], 1),
+               TextTable::num(rep.availability() * 100.0, 2) + " %",
+               TextTable::num(rep.slo_attainment() * 100.0, 1) + " %",
+               TextTable::num(rep.goodput_per_s, 0),
+               TextTable::integer(std::int64_t(rep.lost_to_crashes)),
+               TextTable::integer(std::int64_t(rep.retries)),
+               TextTable::integer(std::int64_t(rep.hedge_wins))});
+  }
+  r.add_table(std::move(t),
+              strf("Retry/hedge policy x crash rate, %.0fk req/s det-base "
+                   "over 4 edge GPUs (MTTR 150 ms, %uk requests per cell):",
+                   kCityLoad / 1000.0, kRequestsPerCell / 1000));
+
+  const auto find = [&](std::size_t policy, std::size_t rate) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].policy == policy && cells[i].rate == rate)
+        return &reports[i];
+    }
+    SIXG_ASSERT(false, "anchor cell missing from the resilience grid");
+    return static_cast<const edgeai::FleetStudy::Report*>(nullptr);
+  };
+  const auto* none_hot = find(0, 2);
+  const auto* retry_hot = find(1, 2);
+  const auto* both_hot = find(3, 2);
+  const auto* none_cold = find(0, 0);
+  r.add_anchor("availability, no resilience @ 0.4 crashes/s (%)",
+               none_hot->availability() * 100.0,
+               "crashes turn queued work into losses");
+  r.add_anchor("retry availability gain @ 0.4 crashes/s (pp)",
+               (retry_hot->availability() - none_hot->availability()) * 100.0,
+               "failover retries win back nearly all of it");
+  r.add_anchor("retry+hedge availability @ 0.4 crashes/s (%)",
+               both_hot->availability() * 100.0,
+               "the combined policy approaches fault-free service");
+  r.add_anchor("hedge-only SLO @ 0.4 crashes/s (%)",
+               find(2, 2)->slo_attainment() * 100.0,
+               "duplicates amplify the crash backlog; hedge needs retry");
+  r.add_anchor("fault-free availability, no resilience (%)",
+               none_cold->availability() * 100.0,
+               "sanity: zero fault rate loses nothing");
+  return r;
+}
+
+ScenarioResult degraded_fleet_slo(const RunContext& ctx) {
+  ScenarioResult r;
+  const KlagenfurtStudy study;
+  const auto conditions = study.rem().at(*study.grid().parse_label("C2"));
+  topo::EuropeOptions fixed;
+  fixed.local_breakout = true;
+  fixed.local_peering = true;
+  const auto peered = topo::build_europe(fixed);
+  const radio::RadioLinkModel access{radio::AccessProfile::sixg()};
+  const auto edge_path =
+      peered.net.find_path(peered.mobile_ue, peered.university_probe);
+
+  // A 3-GPU fleet with little headroom: losing one server for the MTTR
+  // window pushes the survivors into overload, so the SLO damage scales
+  // with how long the repair takes, not just with the crash itself.
+  constexpr double kCityLoad = 12000.0;
+  constexpr std::uint32_t kRequests = 120000;
+  const Duration crash_at = Duration::seconds(2);
+  const double mttr_ms[] = {25.0, 100.0, 400.0, 1600.0};
+
+  const Campaign campaign{ctx, 0xdead};
+  const auto reports = campaign.sweep<edgeai::FleetStudy::Report>(
+      std::size(mttr_ms), [&](std::size_t i, std::uint64_t seed) {
+        edgeai::FleetStudy::Config config;
+        config.model = edgeai::ModelZoo::at("det-base");
+        config.policy = edgeai::DispatchPolicy::kJoinShortestQueue;
+        config.arrivals_per_second = kCityLoad;
+        config.requests = kRequests;
+        config.slo = Duration::from_millis_f(20.0);
+        config.energy.uplink = DataRate::gbps(2);
+        config.energy.downlink = DataRate::gbps(4);
+        config.seed = seed;
+        for (std::size_t s = 0; s < 3; ++s) {
+          config.servers.push_back(
+              edge_server_spec(access, conditions, peered, edge_path));
+        }
+        // Scripted, not stochastic: server 0 dies at exactly t=2 s and
+        // repairs after the swept MTTR, so every row sees the same
+        // incident and only the repair time varies.
+        const Duration mttr = Duration::from_millis_f(mttr_ms[i]);
+        config.faults.scripted.push_back(
+            {crash_at, mttr, 1.0, faults::FaultKind::kServerCrash, 0});
+        config.faults.scripted.push_back(
+            {crash_at + mttr, {}, 1.0, faults::FaultKind::kServerRecover, 0});
+        config.resilience.deadline = Duration::from_millis_f(50.0);
+        config.resilience.max_retries = 3;
+        config.resilience.retry_backoff = Duration::micros(250);
+        return edgeai::FleetStudy::run(config);
+      });
+
+  TextTable t{{"MTTR (ms)", "Avail", "<= 20 ms SLO", "p99 (ms)",
+               "Timed out", "Lost", "Retries", "Goodput (/s)"}};
+  for (std::size_t i = 0; i < std::size(mttr_ms); ++i) {
+    const auto& rep = reports[i];
+    t.add_row({TextTable::num(mttr_ms[i], 0),
+               TextTable::num(rep.availability() * 100.0, 2) + " %",
+               TextTable::num(rep.slo_attainment() * 100.0, 1) + " %",
+               TextTable::num(rep.e2e_q.quantile(0.99), 2),
+               TextTable::integer(std::int64_t(rep.timed_out)),
+               TextTable::integer(std::int64_t(rep.lost_to_crashes)),
+               TextTable::integer(std::int64_t(rep.retries)),
+               TextTable::num(rep.goodput_per_s, 0)});
+  }
+  r.add_table(std::move(t),
+              strf("Scripted crash of 1 of 3 edge GPUs at t=2 s, %.0fk "
+                   "req/s det-base, 50 ms deadline + 3 retries; repair "
+                   "time swept:",
+                   kCityLoad / 1000.0));
+
+  const auto& fast = reports[0];
+  const auto& slow = reports[std::size(mttr_ms) - 1];
+  r.add_anchor("SLO attainment at 25 ms MTTR (%)",
+               fast.slo_attainment() * 100.0,
+               "a fast repair is invisible at the SLO");
+  r.add_anchor("SLO loss, 25 ms -> 1600 ms MTTR (pp)",
+               (fast.slo_attainment() - slow.slo_attainment()) * 100.0,
+               "the backlog during repair, not the crash, costs the SLO");
+  r.add_anchor("availability at 1600 ms MTTR (%)",
+               slow.availability() * 100.0,
+               "retries + deadline keep service up through the outage");
+  r.add_anchor("timeouts at 1600 ms MTTR", double(slow.timed_out),
+               "the deadline sheds the unsalvageable backlog");
+  return r;
+}
+
 }  // namespace
 
 std::size_t register_paper_scenarios(ScenarioRegistry& registry) {
@@ -1859,6 +2154,15 @@ std::size_t register_paper_scenarios(ScenarioRegistry& registry) {
       {"city-serving-sharded", "North star (sharded fleet)",
        "multi-pod city serving on conservative-window sharded timelines",
        city_serving_sharded},
+      {"link-failure-sweep", "Robustness (fault model)",
+       "seed-scheduled fibre cuts: reroute, recompile, repair",
+       link_failure_sweep},
+      {"fleet-resilience-ablation", "Robustness (fault model)",
+       "retry/hedge policy x server crash rate over the edge fleet",
+       fleet_resilience_ablation},
+      {"degraded-fleet-slo", "Robustness (fault model)",
+       "scripted server crash: SLO and availability vs repair time",
+       degraded_fleet_slo},
   };
   std::size_t added = 0;
   for (const auto& scenario : all) {

@@ -71,9 +71,83 @@ AcceleratorServer::AcceleratorServer(netsim::Simulator& sim,
   scratch_.resize(std::size_t{2} * config_.max_batch);
 }
 
+const char* to_string(ServerHealth health) {
+  switch (health) {
+    case ServerHealth::kUp:
+      return "up";
+    case ServerHealth::kDraining:
+      return "draining";
+    case ServerHealth::kDown:
+      return "down";
+  }
+  return "?";
+}
+
 void AcceleratorServer::set_completion_sink(CompletionSink sink) {
   SIXG_ASSERT(static_cast<bool>(sink), "completion sink must be callable");
   sink_ = std::move(sink);
+}
+
+void AcceleratorServer::set_failure_sink(FailureSink sink) {
+  SIXG_ASSERT(static_cast<bool>(sink), "failure sink must be callable");
+  failure_sink_ = std::move(sink);
+}
+
+void AcceleratorServer::lose(const Entry& entry) {
+  ++lost_;
+  if (entry.handler >= 0) {
+    // Legacy path: the completion handler simply never fires.
+    handlers_[std::size_t(entry.handler)] = nullptr;
+    free_handlers_.push_back(entry.handler);
+    return;
+  }
+  SIXG_ASSERT(static_cast<bool>(failure_sink_),
+              "fail() with slab-path work needs set_failure_sink() first");
+  failure_sink_(std::uint32_t(entry.key), entry.payload);
+}
+
+void AcceleratorServer::fail() {
+  SIXG_ASSERT(health_ != ServerHealth::kDown,
+              "fail() on a server that is already down");
+  health_ = ServerHealth::kDown;
+  window_timer_.cancel();
+  // Disarm the pending batch completion: finish_batch checks the epoch.
+  ++crash_epoch_;
+  // The in-flight batch is reported first (it entered service before
+  // anything still queued), then the queue in FIFO order. Rejections of
+  // resubmissions from inside the failure sink are guaranteed: health is
+  // already kDown here.
+  if (busy_) {
+    for (std::uint32_t i = 0; i < in_service_; ++i) {
+      lose(scratch_[inflight_offset_ + i]);
+    }
+    busy_ = false;
+    in_service_ = 0;
+  }
+  for (std::size_t i = 0; i < count_; ++i) {
+    lose(ring_[(head_ + i) % config_.queue_capacity]);
+  }
+  head_ = 0;
+  count_ = 0;
+}
+
+void AcceleratorServer::recover() {
+  SIXG_ASSERT(health_ != ServerHealth::kUp,
+              "recover() on a server that is already up");
+  health_ = ServerHealth::kUp;
+  // Work queued before a drain() may still be waiting on a window; a
+  // crashed server comes back empty, so this is a no-op after fail().
+  if (!busy_ && count_ > 0) maybe_dispatch();
+}
+
+void AcceleratorServer::drain() {
+  SIXG_ASSERT(health_ == ServerHealth::kUp, "drain() needs an up server");
+  health_ = ServerHealth::kDraining;
+}
+
+void AcceleratorServer::set_service_rate_multiplier(double factor) {
+  SIXG_ASSERT(factor > 0.0, "service-rate multiplier must be positive");
+  slowdown_ = factor;
 }
 
 bool AcceleratorServer::admit(Entry entry) {
@@ -91,11 +165,19 @@ bool AcceleratorServer::admit(Entry entry) {
 bool AcceleratorServer::submit(std::uint32_t slot, std::uint64_t payload) {
   SIXG_ASSERT(static_cast<bool>(sink_),
               "slab-path submit needs set_completion_sink() first");
+  if (health_ != ServerHealth::kUp) [[unlikely]] {
+    ++rejected_;
+    return false;
+  }
   return admit(Entry{slot, payload, sim_.now(), -1});
 }
 
 bool AcceleratorServer::submit(std::uint64_t request_id,
                                CompletionHandler on_done) {
+  if (health_ != ServerHealth::kUp) [[unlikely]] {
+    ++rejected_;
+    return false;
+  }
   if (count_ >= config_.queue_capacity) {
     ++dropped_;
     return false;
@@ -157,16 +239,28 @@ void AcceleratorServer::launch_batch() {
   completed_in_batches_ += n;
   busy_ = true;
   in_service_ = n;
+  inflight_offset_ = offset;
 
   const TimePoint started = sim_.now();
-  const Duration service = acc_.service_time(model_, n);
-  sim_.schedule_after(service, [this, started, offset, n] {
-    finish_batch(started, offset, n);
+  Duration service = acc_.service_time(model_, n);
+  // Straggler slow-down. The != 1.0 gate keeps the healthy service time
+  // bit-identical to the pre-fault computation (no extra FP round-trip).
+  if (slowdown_ != 1.0) [[unlikely]] {
+    service = Duration::from_seconds_f(service.sec() * slowdown_);
+  }
+  const std::uint32_t epoch = crash_epoch_;
+  sim_.schedule_after(service, [this, started, offset, n, epoch] {
+    finish_batch(started, offset, n, epoch);
   });
 }
 
 void AcceleratorServer::finish_batch(TimePoint started, std::uint32_t offset,
-                                     std::uint32_t n) {
+                                     std::uint32_t n, std::uint32_t epoch) {
+  // The server failed while this batch was in service: its work is lost
+  // (fail() already reported every entry through the failure sink) and
+  // its results must never surface.
+  if (epoch != crash_epoch_) [[unlikely]]
+    return;
   busy_ = false;
   in_service_ = 0;
   const TimePoint done = sim_.now();

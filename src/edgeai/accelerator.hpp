@@ -57,6 +57,14 @@ struct AcceleratorProfile {
                                     std::uint32_t batch) const;
 };
 
+/// Server health: the crash/drain/recover state machine of the fault
+/// model (docs/ARCHITECTURE.md "Fault model & failure-aware dispatch").
+/// kUp accepts and serves; kDraining serves what is queued but rejects
+/// new submissions; kDown holds nothing — fail() lost it all.
+enum class ServerHealth : std::uint8_t { kUp, kDraining, kDown };
+
+[[nodiscard]] const char* to_string(ServerHealth health);
+
 /// Event-driven inference server bound to one netsim::Simulator timeline.
 ///
 /// Requests enter a bounded FIFO queue. The server drains it with
@@ -68,6 +76,9 @@ struct AcceleratorProfile {
 ///
 /// Determinism: all scheduling goes through the simulator's FIFO
 /// event queue; no wall clock, no RNG. Same submissions -> same batches.
+/// Fault hooks (fail/recover/drain, the service-rate multiplier) are
+/// themselves scheduled as ordinary events by the caller, so a faulted
+/// run stays a pure function of its seed.
 class AcceleratorServer {
  public:
   struct BatchingConfig {
@@ -103,6 +114,14 @@ class AcceleratorServer {
   using CompletionSink =
       std::function<void(std::uint32_t slot, std::uint64_t payload,
                          const Completion& completion)>;
+  /// Crash-loss callback, one per server: fail() invokes it once per
+  /// slab-path request that was queued or mid-batch when the server went
+  /// down (FIFO order: the in-flight batch first, then the queue). The
+  /// owner reclaims the slot — and, when failure-aware dispatch is on,
+  /// decides whether to retry elsewhere. Legacy-path requests lost to a
+  /// crash simply never complete (their handlers are discarded).
+  using FailureSink =
+      std::function<void(std::uint32_t slot, std::uint64_t payload)>;
 
   AcceleratorServer(netsim::Simulator& sim, AcceleratorProfile accelerator,
                     ModelProfile model, BatchingConfig config);
@@ -113,6 +132,37 @@ class AcceleratorServer {
   /// Install the per-server completion callback for the slab path. Must
   /// be set (once, before the first submit(slot)) and never per request.
   void set_completion_sink(CompletionSink sink);
+
+  /// Install the crash-loss callback. Optional: without one, fail() on a
+  /// server with slab-path work is a programming error (the owner could
+  /// never reclaim the slots).
+  void set_failure_sink(FailureSink sink);
+
+  // -- fault model ----------------------------------------------------------
+  /// Crash: everything queued and the batch in flight are LOST. Each lost
+  /// slab-path request is reported through the failure sink; the pending
+  /// batch-completion event is disarmed by a crash-epoch check (its
+  /// results never surface). The server rejects submissions until
+  /// recover(). No-op counters keep advancing deterministically.
+  [[gnu::cold]] void fail();
+  /// Repair: back to kUp, empty. Queued work rejected while down stays
+  /// rejected — the dispatch layer owns retries.
+  [[gnu::cold]] void recover();
+  /// Stop accepting new work but finish everything already queued (the
+  /// graceful half of the state machine; recover() reopens).
+  [[gnu::cold]] void drain();
+  [[nodiscard]] ServerHealth health() const { return health_; }
+  /// Is this server a valid dispatch target right now?
+  [[nodiscard]] bool accepting() const { return health_ == ServerHealth::kUp; }
+
+  /// Straggler knob: service times are multiplied by `factor` (> 1 =
+  /// slower) for batches launched while it is set. Exactly 1.0 (the
+  /// default) leaves the service-time computation bit-identical to a
+  /// build without the knob.
+  void set_service_rate_multiplier(double factor);
+  [[nodiscard]] double service_rate_multiplier() const {
+    return slowdown_;
+  }
 
   /// Slab path: enqueue caller-side record `slot` at sim.now(), carrying
   /// an opaque `payload` word back to the completion sink. Returns false
@@ -138,6 +188,10 @@ class AcceleratorServer {
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t batches_launched() const { return batches_; }
+  /// Requests lost to fail() (queued + mid-batch), both paths.
+  [[nodiscard]] std::uint64_t lost_to_crashes() const { return lost_; }
+  /// Submissions rejected because the server was draining or down.
+  [[nodiscard]] std::uint64_t rejected_unhealthy() const { return rejected_; }
 
   /// Mean size of the batches launched so far (0 before any launch).
   [[nodiscard]] double mean_batch_size() const {
@@ -160,7 +214,12 @@ class AcceleratorServer {
   void maybe_dispatch();
   void launch_batch();
   /// Staged completion: invoke per-request callbacks FIFO, then drain.
-  void finish_batch(TimePoint started, std::uint32_t offset, std::uint32_t n);
+  /// `epoch` is the crash epoch the batch launched under; a mismatch
+  /// means the server failed mid-service and the results are void.
+  void finish_batch(TimePoint started, std::uint32_t offset, std::uint32_t n,
+                    std::uint32_t epoch);
+  /// Account one request lost to fail() and notify its owner.
+  [[gnu::cold]] void lose(const Entry& entry);
 
   netsim::Simulator& sim_;
   AcceleratorProfile acc_;
@@ -183,17 +242,30 @@ class AcceleratorServer {
   std::vector<std::int32_t> free_handlers_;
 
   CompletionSink sink_;
+  FailureSink failure_sink_;
 
   bool busy_ = false;
   std::uint32_t in_service_ = 0;
+  /// Scratch offset of the batch in flight (valid while busy_): fail()
+  /// walks it to report the mid-batch losses.
+  std::uint32_t inflight_offset_ = 0;
   /// Armed batch window, if any; cancelled when a batch launches first.
   netsim::Simulator::TimerHandle window_timer_;
+
+  ServerHealth health_ = ServerHealth::kUp;
+  /// Bumped by fail(): the pending finish_batch event carries the epoch
+  /// it launched under and no-ops on mismatch, so a crashed batch can
+  /// never deliver results.
+  std::uint32_t crash_epoch_ = 0;
+  double slowdown_ = 1.0;
 
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t completed_in_batches_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace sixg::edgeai

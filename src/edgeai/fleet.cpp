@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "edgeai/request_slab.hpp"
+#include "faults/injector.hpp"
 #include "netsim/sharded.hpp"
 #include "netsim/simulator.hpp"
 #include "obs/obs.hpp"
@@ -44,6 +45,15 @@ constexpr std::uint64_t kUplinkMask = (std::uint64_t{1} << kOriginShift) - 1;
 /// what keeps a 1-shard sharded run byte-identical to the serial engine.
 constexpr std::uint64_t kRemoteRouteSalt = 0x5a07;  ///< coin + pod + uplink
 constexpr std::uint64_t kRemoteDownSalt = 0x5a17;   ///< downlink at the pod
+
+/// Payload origin-tag value marking a local hedged duplicate (never a
+/// real origin: setup asserts the shard count stays below it). Lets the
+/// completion sink route hedge copies without widening the payload word.
+constexpr std::uint64_t kHedgeTag = 0xff;
+
+/// dispatch() sentinel: no server is accepting (every candidate down or
+/// draining). Only reachable when a fault schedule is active.
+constexpr std::uint32_t kNoServer = std::numeric_limits<std::uint32_t>::max();
 
 /// One fleet engine: the mutable state of one serving timeline — the
 /// request slab, the server pool and the dispatch machinery. Same event
@@ -148,6 +158,24 @@ struct FleetEngine {
   Rng remote_route_rng;
   Rng remote_down_rng;
   std::uint64_t remote_sent = 0;
+
+  // -- fault / resilience state (cold unless configured) ------------------
+  /// True when a fault schedule or a resilience policy is active: the
+  /// slab's resilience columns are engaged and every lifecycle edge goes
+  /// through the copy-counting paths. False = the exact legacy paths.
+  bool hardened = false;
+  bool resilience_on = false;
+  faults::FaultPlan fault_plan;
+  faults::FaultInjector injector;
+  /// Radio outage window: uplinks launched before this instant defer to
+  /// it (the device cannot transmit). TimePoint{} = no outage.
+  TimePoint radio_down_until;
+  /// Per-slot cancellable timers, sized lazily with the slab; empty
+  /// unless the corresponding knob is on. Completion cancels its
+  /// deadline in O(1); recycled slots are additionally guarded by the
+  /// slab epoch the timer captured.
+  std::vector<netsim::Simulator::TimerHandle> deadline_timers;
+  std::vector<netsim::Simulator::TimerHandle> hedge_timers;
 
   FleetEngine(const FleetStudy::Config& cfg, netsim::Simulator& timeline,
               FleetStudy::Report& rep)
@@ -267,11 +295,19 @@ struct FleetEngine {
     return s.server->queue_depth() + s.server->in_service();
   }
 
+  /// Health-aware min-load scan: down/draining servers are never picked.
+  /// With every server up this selects exactly what the health-blind
+  /// scan did (strict-less keeps the lowest index on ties), which is
+  /// what preserves zero-fault byte-identity. kNoServer if none accepts.
+  /// Health can only change in hardened runs (faults and drains are
+  /// armed iff hardening is on), so the non-hardened scan skips the
+  /// per-server accepting() dereference outright.
   [[nodiscard]] std::uint32_t pick_min_load(std::uint32_t const* begin,
                                             std::uint32_t const* end) const {
-    std::uint32_t best = *begin;
-    std::uint64_t best_load = load_of(servers[*begin]);
-    for (const std::uint32_t* it = begin + 1; it != end; ++it) {
+    std::uint32_t best = kNoServer;
+    std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
+    for (const std::uint32_t* it = begin; it != end; ++it) {
+      if (hardened && !servers[*it].server->accepting()) [[unlikely]] continue;
       const std::uint64_t load = load_of(servers[*it]);
       if (load < best_load) {
         best = *it;
@@ -284,10 +320,16 @@ struct FleetEngine {
   [[nodiscard]] std::uint32_t dispatch() {
     switch (config.policy) {
       case DispatchPolicy::kRoundRobin: {
-        const std::uint32_t pick = round_robin_cursor;
-        round_robin_cursor =
-            (round_robin_cursor + 1) % std::uint32_t(servers.size());
-        return pick;
+        // First accepting server at or after the cursor; one probe (and
+        // one cursor step) per arrival when the fleet is healthy.
+        for (std::uint32_t probes = 0; probes < servers.size(); ++probes) {
+          const std::uint32_t pick = round_robin_cursor;
+          round_robin_cursor =
+              (round_robin_cursor + 1) % std::uint32_t(servers.size());
+          if (!hardened || servers[pick].server->accepting()) [[likely]]
+            return pick;
+        }
+        return kNoServer;
       }
       case DispatchPolicy::kJoinShortestQueue:
         break;  // the all-servers scan below
@@ -298,16 +340,19 @@ struct FleetEngine {
             const std::uint32_t pick = pick_min_load(
                 tier_order.data() + group_begin,
                 tier_order.data() + group_end);
-            if (load_of(servers[pick]) < config.tier_spill_depth) return pick;
+            if (pick != kNoServer &&
+                load_of(servers[pick]) < config.tier_spill_depth)
+              return pick;
           }
           group_begin = group_end;
         }
-        break;  // every tier saturated: fall back to global JSQ
+        break;  // every tier saturated (or down): fall back to global JSQ
       }
     }
-    std::uint32_t best = 0;
+    std::uint32_t best = kNoServer;
     std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
     for (std::uint32_t k = 0; k < servers.size(); ++k) {
+      if (hardened && !servers[k].server->accepting()) [[unlikely]] continue;
       const std::uint64_t load = load_of(servers[k]);
       if (load < best_load) {
         best = k;
@@ -318,12 +363,39 @@ struct FleetEngine {
   }
 
   void on_arrival();
-  void on_submit(std::uint32_t slot, std::uint32_t server, Duration up);
+  void on_submit(std::uint32_t slot, std::uint32_t server, Duration up,
+                 std::uint8_t hedge);
   void on_complete(std::uint32_t server, std::uint32_t slot,
                    std::uint64_t payload,
                    const AcceleratorServer::Completion& completion);
   void on_record(std::uint32_t slot, std::uint32_t server, std::uint32_t batch,
-                 Duration net, Duration queue_wait, Duration service);
+                 Duration net, Duration queue_wait, Duration service,
+                 std::uint8_t hedge);
+
+  // Hardened-mode handlers (faults and/or resilience configured).
+  // [[gnu::cold]] keeps them out of the hot event loop's text: the
+  // zero-fault path never calls them, and the ≤2% overhead gate
+  // (bench/faults.cpp) is sensitive to I-cache pressure in this TU.
+  [[gnu::cold]] void arrival_hardened();
+  /// Dispatch one copy of `slot` to a healthy server and launch its
+  /// uplink. `hedge` tags the copy for first-completion-wins accounting.
+  [[gnu::cold]] void launch_copy(std::uint32_t slot, bool hedge);
+  /// One live copy of `slot` resolved without a delivered result (queue
+  /// drop, crash loss, unhealthy rejection, no dispatchable server,
+  /// remote drop notice): retry while budget remains, else settle.
+  [[gnu::cold]] void copy_died(std::uint32_t slot);
+  /// Cancel the slot's timers, bump its epoch and recycle it.
+  [[gnu::cold]] void release_hardened(std::uint32_t slot);
+  [[gnu::cold]] void on_timeout(std::uint32_t slot, std::uint32_t epoch);
+  [[gnu::cold]] void on_hedge(std::uint32_t slot, std::uint32_t epoch);
+  [[gnu::cold]] void on_retry(std::uint32_t slot, std::uint32_t epoch);
+  /// AcceleratorServer failure sink: a crash lost this submission.
+  [[gnu::cold]] void on_lost(std::uint32_t slot, std::uint64_t payload);
+  /// Uplink deferral while the pod's radio domain is down.
+  [[nodiscard]] Duration radio_defer() const {
+    return radio_down_until > sim.now() ? radio_down_until - sim.now()
+                                        : Duration{};
+  }
 
   // Remote-path handlers (sharded runs only).
   void dispatch_remote(std::uint32_t slot);
@@ -346,7 +418,8 @@ struct FleetSubmitEvent {
   std::uint32_t slot;
   std::uint32_t server;
   Duration up;
-  void operator()() const { engine->on_submit(slot, server, up); }
+  std::uint8_t hedge;  ///< this copy is a hedged duplicate
+  void operator()() const { engine->on_submit(slot, server, up, hedge); }
 };
 static_assert(sizeof(FleetSubmitEvent) <= netsim::InplaceAction::kInlineBytes);
 
@@ -355,14 +428,43 @@ struct FleetRecordEvent {
   std::uint32_t slot;
   std::uint32_t server;
   std::uint32_t batch;
+  std::uint8_t hedge;
   Duration net;
   Duration queue_wait;
   Duration service;
   void operator()() const {
-    engine->on_record(slot, server, batch, net, queue_wait, service);
+    engine->on_record(slot, server, batch, net, queue_wait, service, hedge);
   }
 };
 static_assert(sizeof(FleetRecordEvent) <= netsim::InplaceAction::kInlineBytes);
+
+/// Slot-carrying timer events. Each captures the slab epoch it was
+/// armed under; the handler no-ops on mismatch, so a stale firing from
+/// a recycled slot can never act on the wrong request (regression-tested
+/// in tests/test_faults.cpp).
+struct FleetTimeoutEvent {
+  FleetEngine* engine;
+  std::uint32_t slot;
+  std::uint32_t epoch;
+  void operator()() const { engine->on_timeout(slot, epoch); }
+};
+static_assert(sizeof(FleetTimeoutEvent) <= netsim::InplaceAction::kInlineBytes);
+
+struct FleetHedgeEvent {
+  FleetEngine* engine;
+  std::uint32_t slot;
+  std::uint32_t epoch;
+  void operator()() const { engine->on_hedge(slot, epoch); }
+};
+static_assert(sizeof(FleetHedgeEvent) <= netsim::InplaceAction::kInlineBytes);
+
+struct FleetRetryEvent {
+  FleetEngine* engine;
+  std::uint32_t slot;
+  std::uint32_t epoch;
+  void operator()() const { engine->on_retry(slot, epoch); }
+};
+static_assert(sizeof(FleetRetryEvent) <= netsim::InplaceAction::kInlineBytes);
 
 /// Executes on the REMOTE pod's timeline, delivered through the mailbox.
 struct RemoteSubmitEvent {
@@ -405,6 +507,10 @@ void FleetEngine::on_arrival() {
     const Duration delta = next_interarrival();
     sim.schedule_at(sim.now() + delta, FleetArrivalEvent{this});
   }
+  if (hardened) [[unlikely]] {
+    arrival_hardened();
+    return;
+  }
   const std::uint32_t slot = acquire_slot();
   SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kScheduled,
               "acquired slot is not idle");
@@ -425,20 +531,97 @@ void FleetEngine::on_arrival() {
   const Duration up =
       target.networked ? next_uplink(target) + up_airtime : Duration{};
   if (up.is_zero()) {
-    on_submit(slot, k, up);
+    on_submit(slot, k, up, 0);
     return;
   }
-  sim.schedule_after(up, FleetSubmitEvent{this, slot, k, up});
+  sim.schedule_after(up, FleetSubmitEvent{this, slot, k, up, 0});
+}
+
+void FleetEngine::arrival_hardened() {
+  const ResilienceConfig& res = config.resilience;
+  if (res.shed_queue_depth > 0) {
+    std::uint64_t total = 0;
+    for (const ServerState& s : servers) total += load_of(s);
+    if (total >= res.shed_queue_depth) {
+      ++report.shed;
+      ++report.failed;
+      SIXG_OBS_COUNT(obs::Metric::kFleetShed, 1);
+      // The shed arrival never held a slot, so it cannot trigger the
+      // last-release sampler stop — do it here when it was the last.
+      if (sampler && inflight == 0 && spawned == config.requests) {
+        sampler->stop();
+      }
+      return;
+    }
+  }
+  const std::uint32_t slot = acquire_slot();
+  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kScheduled,
+              "acquired slot is not idle");
+  slab.state[slot] = RequestSlab::State::kUplink;
+  slab.device_start[slot] = sim.now();
+  slab.attempt[slot] = 0;
+  slab.pending[slot] = 1;
+  slab.flags[slot] = 0;
+  SIXG_OBS_COUNT(obs::Metric::kFleetArrivals, 1);
+  if (sampler) ++inflight;
+  if (!res.deadline.is_zero()) {
+    if (deadline_timers.size() <= slot) deadline_timers.resize(slot + 1);
+    deadline_timers[slot] = sim.schedule_once(
+        res.deadline, FleetTimeoutEvent{this, slot, slab.epoch[slot]});
+  }
+  if (remote_fraction > 0.0 && shard_count > 1 &&
+      remote_route_rng.chance(remote_fraction)) {
+    // Remote requests are never hedged (a duplicate would double the
+    // cross-shard traffic for a copy the origin cannot cancel); a
+    // remote drop notice still retries locally.
+    dispatch_remote(slot);
+    return;
+  }
+  if (!res.hedge_delay.is_zero()) {
+    if (hedge_timers.size() <= slot) hedge_timers.resize(slot + 1);
+    hedge_timers[slot] = sim.schedule_once(
+        res.hedge_delay, FleetHedgeEvent{this, slot, slab.epoch[slot]});
+  }
+  launch_copy(slot, /*hedge=*/false);
+}
+
+void FleetEngine::launch_copy(std::uint32_t slot, bool hedge) {
+  const std::uint32_t k = dispatch();
+  if (k == kNoServer) [[unlikely]] {
+    copy_died(slot);
+    return;
+  }
+  ServerState& target = servers[k];
+  ++target.dispatched;
+  Duration up =
+      target.networked ? next_uplink(target) + up_airtime : Duration{};
+  if (target.networked && !up.is_zero()) up = up + radio_defer();
+  slab.state[slot] = RequestSlab::State::kUplink;
+  const std::uint8_t tag = hedge ? 1 : 0;
+  if (up.is_zero()) {
+    on_submit(slot, k, up, tag);
+    return;
+  }
+  sim.schedule_after(up, FleetSubmitEvent{this, slot, k, up, tag});
 }
 
 void FleetEngine::on_submit(std::uint32_t slot, std::uint32_t server,
-                            Duration up) {
-  if (servers[server].server->submit(slot, std::uint64_t(up.ns()))) {
-    slab.state[slot] = RequestSlab::State::kQueued;
-  } else {
-    slab.state[slot] = RequestSlab::State::kDropped;
-    release_slot(slot);
+                            Duration up, std::uint8_t hedge) {
+  const std::uint64_t payload =
+      hedge ? (kHedgeTag << kOriginShift) | std::uint64_t(up.ns())
+            : std::uint64_t(up.ns());
+  if (servers[server].server->submit(slot, payload)) {
+    if (!hardened || slab.state[slot] == RequestSlab::State::kUplink)
+      slab.state[slot] = RequestSlab::State::kQueued;
+    return;
   }
+  if (hardened) [[unlikely]] {
+    copy_died(slot);
+    return;
+  }
+  slab.state[slot] = RequestSlab::State::kDropped;
+  ++report.failed;
+  release_slot(slot);
 }
 
 void FleetEngine::dispatch_remote(std::uint32_t slot) {
@@ -448,7 +631,8 @@ void FleetEngine::dispatch_remote(std::uint32_t slot) {
   const std::uint32_t pick =
       std::uint32_t(remote_route_rng.uniform_int(shard_count - 1));
   const std::uint32_t dst = pick >= self ? pick + 1 : pick;
-  const Duration up = (*remote_uplink)(remote_route_rng) + up_airtime;
+  Duration up = (*remote_uplink)(remote_route_rng) + up_airtime;
+  if (hardened) [[unlikely]] up = up + radio_defer();
   SIXG_ASSERT((std::uint64_t(up.ns()) >> kOriginShift) == 0,
               "remote uplink latency overflows the payload word");
   sharded->post(self, dst, sim.now() + up,
@@ -458,6 +642,14 @@ void FleetEngine::dispatch_remote(std::uint32_t slot) {
 void FleetEngine::on_remote_submit(std::uint32_t origin, std::uint32_t slot,
                                    std::int64_t up_ns) {
   const std::uint32_t k = dispatch();
+  if (k == kNoServer) [[unlikely]] {
+    // Every server of this pod is down or draining: same contract as a
+    // full queue — the owner decides (drop or failover) on its own
+    // timeline, reached through the mailbox.
+    sharded->post(self, origin, sim.now() + window,
+                  RemoteDropEvent{peers[origin], slot});
+    return;
+  }
   ServerState& target = servers[k];
   ++target.dispatched;
   const std::uint64_t payload =
@@ -477,7 +669,7 @@ void FleetEngine::on_complete(std::uint32_t server, std::uint32_t slot,
                               const AcceleratorServer::Completion& completion) {
   ServerState& from = servers[server];
   const std::uint64_t origin_tag = payload >> kOriginShift;
-  if (origin_tag != 0) {
+  if (origin_tag != 0 && origin_tag != kHedgeTag) {
     // A remote pod's request: finish the serving-side accounting here,
     // then post the result back to the owning timeline.
     const std::uint32_t origin = std::uint32_t(origin_tag) - 1;
@@ -493,26 +685,44 @@ void FleetEngine::on_complete(std::uint32_t server, std::uint32_t slot,
                           from.compute_j_by_batch[completion.batch_size]});
     return;
   }
-  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kQueued,
+  const std::uint8_t hedge = origin_tag == kHedgeTag ? 1 : 0;
+  // Under hedging/timeout a copy may complete after the request settled
+  // (winner already in downlink or recorded, or the deadline expired):
+  // the slot is then past kQueued and must not be stomped back.
+  SIXG_ASSERT(hardened || slab.state[slot] == RequestSlab::State::kQueued,
               "fleet completion for a slot that is not queued");
-  slab.state[slot] = RequestSlab::State::kDownlink;
+  if (!hardened || slab.state[slot] == RequestSlab::State::kQueued)
+    slab.state[slot] = RequestSlab::State::kDownlink;
   const Duration down =
       from.networked ? next_downlink(from) + down_airtime : Duration{};
-  const Duration net = Duration::nanos(std::int64_t(payload)) + down;
+  const Duration net =
+      Duration::nanos(std::int64_t(payload & kUplinkMask)) + down;
   if (down.is_zero()) {
     on_record(slot, server, completion.batch_size, net,
-              completion.queue_wait(), completion.service());
+              completion.queue_wait(), completion.service(), hedge);
     return;
   }
   sim.schedule_after(down, FleetRecordEvent{this, slot, server,
-                                            completion.batch_size, net,
+                                            completion.batch_size, hedge, net,
                                             completion.queue_wait(),
                                             completion.service()});
 }
 
 void FleetEngine::on_record(std::uint32_t slot, std::uint32_t server,
                             std::uint32_t batch, Duration net,
-                            Duration queue_wait, Duration service) {
+                            Duration queue_wait, Duration service,
+                            std::uint8_t hedge) {
+  if (hardened) [[unlikely]] {
+    const std::uint8_t settled =
+        slab.flags[slot] & (RequestSlab::kDelivered | RequestSlab::kTimedOutFlag);
+    if (settled) {
+      // The race is over (the other copy delivered, or the deadline
+      // expired): this result is discarded — lazy cancellation of the
+      // hedge loser. Its slot reference resolves here.
+      if (--slab.pending[slot] == 0) release_hardened(slot);
+      return;
+    }
+  }
   const Duration e2e = sim.now() - slab.device_start[slot];
   const double e2e_ms = e2e.ms();
   report.e2e_ms.add(e2e_ms);
@@ -548,13 +758,31 @@ void FleetEngine::on_record(std::uint32_t slot, std::uint32_t server,
   }
   if (sim.now() > makespan) makespan = sim.now();
   slab.state[slot] = RequestSlab::State::kDone;
-  release_slot(slot);
+  if (!hardened) {
+    release_slot(slot);
+    return;
+  }
+  slab.flags[slot] |= RequestSlab::kDelivered;
+  if (hedge) ++report.hedge_wins;
+  // Completion cancels the deadline in O(1) — no stale timeout event
+  // survives a delivered request (tests/test_faults.cpp pins this).
+  if (!deadline_timers.empty()) deadline_timers[slot].cancel();
+  if (!hedge_timers.empty()) hedge_timers[slot].cancel();
+  if (--slab.pending[slot] == 0) release_hardened(slot);
 }
 
 void FleetEngine::on_remote_record(std::uint32_t slot, std::uint32_t batch,
                                    std::int64_t net_ns, std::int64_t queue_ns,
                                    std::int64_t service_ns, double compute_j) {
-  SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kUplink,
+  if (hardened) [[unlikely]] {
+    const std::uint8_t settled =
+        slab.flags[slot] & (RequestSlab::kDelivered | RequestSlab::kTimedOutFlag);
+    if (settled) {
+      if (--slab.pending[slot] == 0) release_hardened(slot);
+      return;
+    }
+  }
+  SIXG_ASSERT(hardened || slab.state[slot] == RequestSlab::State::kUplink,
               "remote record for a slot that is not in flight");
   const Duration queue_wait = Duration::nanos(queue_ns);
   const Duration e2e = sim.now() - slab.device_start[slot];
@@ -586,14 +814,125 @@ void FleetEngine::on_remote_record(std::uint32_t slot, std::uint32_t batch,
   energy_sum.server_compute_j += compute_j;
   if (sim.now() > makespan) makespan = sim.now();
   slab.state[slot] = RequestSlab::State::kDone;
-  release_slot(slot);
+  if (!hardened) {
+    release_slot(slot);
+    return;
+  }
+  slab.flags[slot] |= RequestSlab::kDelivered;
+  if (!deadline_timers.empty()) deadline_timers[slot].cancel();
+  if (--slab.pending[slot] == 0) release_hardened(slot);
 }
 
 void FleetEngine::on_remote_drop(std::uint32_t slot) {
+  if (hardened) [[unlikely]] {
+    // The serving pod dropped or lost this copy; the failure crossed
+    // the shard boundary through the mailbox and resolves HERE, on the
+    // owning timeline — retry locally while budget remains.
+    copy_died(slot);
+    return;
+  }
   SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kUplink,
               "remote drop notice for a slot that is not in flight");
   slab.state[slot] = RequestSlab::State::kDropped;
+  ++report.failed;
   release_slot(slot);
+}
+
+void FleetEngine::copy_died(std::uint32_t slot) {
+  const std::uint8_t settled =
+      slab.flags[slot] & (RequestSlab::kDelivered | RequestSlab::kTimedOutFlag);
+  if (!settled && resilience_on &&
+      slab.attempt[slot] < config.resilience.max_retries) {
+    ++slab.attempt[slot];
+    ++report.retries;
+    SIXG_OBS_COUNT(obs::Metric::kFleetRetries, 1);
+    const Duration backoff = config.resilience.retry_backoff;
+    if (backoff.is_zero()) {
+      // Immediate failover (health-aware dispatch avoids the server
+      // that just failed us). Bounded by the retry budget even when
+      // every server rejects.
+      launch_copy(slot, /*hedge=*/false);
+    } else {
+      // Deterministic exponential backoff, no jitter: attempt k waits
+      // backoff * 2^(k-1) (shift capped so a huge budget cannot
+      // overflow the tick arithmetic).
+      const unsigned shift =
+          std::min<unsigned>(slab.attempt[slot] - 1u, 20u);
+      sim.schedule_after(
+          Duration::nanos(backoff.ns() << shift),
+          FleetRetryEvent{this, slot, slab.epoch[slot]});
+    }
+    // pending unchanged: the retry inherits the dead copy's slot hold.
+    return;
+  }
+  if (--slab.pending[slot] > 0) return;
+  if (settled) {
+    release_hardened(slot);
+    return;
+  }
+  // Last copy gone and nothing delivered: the request failed.
+  slab.state[slot] = RequestSlab::State::kDropped;
+  ++report.failed;
+  release_hardened(slot);
+}
+
+void FleetEngine::release_hardened(std::uint32_t slot) {
+  if (!deadline_timers.empty()) deadline_timers[slot].cancel();
+  if (!hedge_timers.empty()) hedge_timers[slot].cancel();
+  // The epoch bump invalidates every timer event still carrying this
+  // slot: a stale firing sees the mismatch and no-ops.
+  ++slab.epoch[slot];
+  release_slot(slot);
+}
+
+void FleetEngine::on_timeout(std::uint32_t slot, std::uint32_t epoch) {
+  if (slab.epoch[slot] != epoch) return;  // recycled slot — stale timer
+  std::uint8_t& flags = slab.flags[slot];
+  if (flags & (RequestSlab::kDelivered | RequestSlab::kTimedOutFlag)) return;
+  flags |= RequestSlab::kTimedOutFlag;
+  slab.state[slot] = RequestSlab::State::kTimedOut;
+  ++report.timed_out;
+  ++report.failed;
+  SIXG_OBS_COUNT(obs::Metric::kFleetTimeouts, 1);
+  if (!hedge_timers.empty()) hedge_timers[slot].cancel();
+  // Copies still in flight drain through the discard paths and release
+  // the slot when the last one resolves; pending stays untouched here.
+}
+
+void FleetEngine::on_hedge(std::uint32_t slot, std::uint32_t epoch) {
+  if (slab.epoch[slot] != epoch) return;
+  if (slab.flags[slot] &
+      (RequestSlab::kDelivered | RequestSlab::kTimedOutFlag))
+    return;
+  ++report.hedges;
+  SIXG_OBS_COUNT(obs::Metric::kFleetHedges, 1);
+  ++slab.pending[slot];
+  launch_copy(slot, /*hedge=*/true);
+}
+
+void FleetEngine::on_retry(std::uint32_t slot, std::uint32_t epoch) {
+  if (slab.epoch[slot] != epoch) return;
+  if (slab.flags[slot] &
+      (RequestSlab::kDelivered | RequestSlab::kTimedOutFlag)) {
+    // Settled while we backed off: this resurrected copy dies unborn.
+    if (--slab.pending[slot] == 0) release_hardened(slot);
+    return;
+  }
+  launch_copy(slot, /*hedge=*/false);
+}
+
+void FleetEngine::on_lost(std::uint32_t slot, std::uint64_t payload) {
+  SIXG_OBS_COUNT(obs::Metric::kFleetLost, 1);
+  const std::uint64_t origin_tag = payload >> kOriginShift;
+  if (origin_tag != 0 && origin_tag != kHedgeTag) {
+    // A remote pod's request died in our crash: its owner decides what
+    // happens next, on its own timeline, through the mailbox.
+    const std::uint32_t origin = std::uint32_t(origin_tag) - 1;
+    sharded->post(self, origin, sim.now() + window,
+                  RemoteDropEvent{peers[origin], slot});
+    return;
+  }
+  copy_died(slot);
 }
 
 /// Build the server pool and the tier-affine preference order, and chain
@@ -638,6 +977,67 @@ void setup_engine(FleetEngine& engine, const FleetStudy::Config& config) {
   }
 
   engine.init_batch_lane();
+
+  // Fault schedule + failure-aware dispatch. Everything below is
+  // config-gated: with no faults and no resilience policy, no slab
+  // column is engaged, no sink installed, no event armed and no RNG
+  // drawn — the run stays byte-identical to a build without the
+  // feature.
+  // The fleet's documented FaultConfig defaults (fleet.hpp) apply BEFORE
+  // the activity check, so a rate-only config — servers and horizon left
+  // zero — is active, not silently cold.
+  faults::FaultConfig fc = config.faults;
+  if (fc.servers == 0) fc.servers = std::uint32_t(engine.servers.size());
+  if (fc.horizon.is_zero()) {
+    // Default horizon: the nominal arrival span plus slack for the
+    // drain tail.
+    fc.horizon = Duration::from_seconds_f(
+        1.25 * double(config.requests) / config.arrivals_per_second);
+  }
+  if (fc.any() || config.resilience.any()) {
+    engine.hardened = true;
+    engine.resilience_on = config.resilience.any();
+    engine.slab.enable_hardening();
+    FleetEngine* owner = &engine;
+    for (FleetEngine::ServerState& s : engine.servers) {
+      s.server->set_failure_sink(
+          [owner](std::uint32_t slot, std::uint64_t payload) {
+            owner->on_lost(slot, payload);
+          });
+    }
+  }
+  if (fc.any()) {
+    engine.fault_plan = faults::FaultPlan::generate(fc, config.seed);
+    FleetEngine* owner = &engine;
+    faults::FaultInjector::Hooks hooks;
+    hooks.server_down = [owner](std::uint32_t s, Duration) {
+      if (s < owner->servers.size() &&
+          owner->servers[s].server->health() != ServerHealth::kDown)
+        owner->servers[s].server->fail();
+    };
+    hooks.server_up = [owner](std::uint32_t s) {
+      if (s < owner->servers.size() &&
+          owner->servers[s].server->health() != ServerHealth::kUp)
+        owner->servers[s].server->recover();
+    };
+    hooks.straggle_begin = [owner](std::uint32_t s, double factor) {
+      if (s < owner->servers.size())
+        owner->servers[s].server->set_service_rate_multiplier(factor);
+    };
+    hooks.straggle_end = [owner](std::uint32_t s) {
+      if (s < owner->servers.size())
+        owner->servers[s].server->set_service_rate_multiplier(1.0);
+    };
+    hooks.radio_down = [owner](Duration outage) {
+      const TimePoint until = owner->sim.now() + outage;
+      if (until > owner->radio_down_until) owner->radio_down_until = until;
+    };
+    // Link fail/restore events have no fleet-level meaning (the fleet
+    // models its network as NetLeg samplers, not topo links); scenarios
+    // that mutate a topo::Network arm their own injector for those.
+    engine.injector.arm(engine.sim, engine.fault_plan, std::move(hooks));
+  }
+
   engine.sim.schedule_at(TimePoint{} + engine.next_interarrival(),
                          FleetArrivalEvent{&engine});
 
@@ -694,12 +1094,15 @@ void collect_servers(const FleetEngine& engine, FleetStudy::Report& report,
     stats.dispatched = state.dispatched;
     stats.completed = state.server->completed();
     stats.dropped = state.server->dropped();
+    stats.lost = state.server->lost_to_crashes();
+    stats.rejected = state.server->rejected_unhealthy();
     stats.batches = state.server->batches_launched();
     stats.mean_batch_size = state.server->mean_batch_size();
     stats.queue_ms = state.queue_ms;
     report.servers.push_back(std::move(stats));
     report.completed += state.server->completed();
     report.dropped += state.server->dropped();
+    report.lost_to_crashes += state.server->lost_to_crashes();
     report.batches += state.server->batches_launched();
     // Serving counters are published once per run from the existing
     // server accessors — the slab submit/complete path itself carries
@@ -757,9 +1160,12 @@ FleetStudy::Report FleetStudy::run(const Config& config) {
     engine.energy_sum /= double(report.completed);
     report.mean_energy = engine.energy_sum;
   }
+  report.fault_events = engine.injector.fired();
   const double makespan_sec = (engine.makespan - TimePoint{}).sec();
-  if (makespan_sec > 0.0)
+  if (makespan_sec > 0.0) {
     report.throughput_per_s = double(report.completed) / makespan_sec;
+    report.goodput_per_s = double(report.within_slo) / makespan_sec;
+  }
   return report;
 }
 
@@ -772,6 +1178,8 @@ ShardedFleetStudy::Report ShardedFleetStudy::run(const Config& config) {
                   (static_cast<bool>(config.remote_uplink) &&
                    static_cast<bool>(config.remote_downlink)),
               "remote traffic needs both inter-pod samplers");
+  SIXG_ASSERT(std::uint64_t(config.shards) < kHedgeTag,
+              "shard count collides with the hedge payload tag");
 
   netsim::ShardedSimulator::Config kernel_cfg;
   kernel_cfg.shards = config.shards;
@@ -831,6 +1239,12 @@ ShardedFleetStudy::Report ShardedFleetStudy::run(const Config& config) {
     report.batch_size.merge(r.batch_size);
     report.e2e_hist->merge(*r.e2e_hist);
     report.within_slo += r.within_slo;
+    report.timed_out += r.timed_out;
+    report.retries += r.retries;
+    report.hedges += r.hedges;
+    report.hedge_wins += r.hedge_wins;
+    report.shed += r.shed;
+    report.failed += r.failed;
   }
   EnergyBreakdown energy_sum;
   TimePoint makespan;
@@ -841,14 +1255,17 @@ ShardedFleetStudy::Report ShardedFleetStudy::run(const Config& config) {
     energy_sum += engines[k]->energy_sum;
     if (engines[k]->makespan > makespan) makespan = engines[k]->makespan;
     report.remote_requests += engines[k]->remote_sent;
+    report.fault_events += engines[k]->injector.fired();
   }
   if (report.completed > 0) {
     energy_sum /= double(report.completed);
     report.mean_energy = energy_sum;
   }
   const double makespan_sec = (makespan - TimePoint{}).sec();
-  if (makespan_sec > 0.0)
+  if (makespan_sec > 0.0) {
     report.throughput_per_s = double(report.completed) / makespan_sec;
+    report.goodput_per_s = double(report.within_slo) / makespan_sec;
+  }
   report.shards = config.shards;
   report.windows = kernel.windows();
   report.mailbox_messages = kernel.messages();
@@ -911,7 +1328,16 @@ std::uint64_t fleet_report_digest(const FleetStudy::Report& r) {
   d.u64(r.dropped);
   d.u64(r.batches);
   d.u64(r.within_slo);
+  d.u64(r.timed_out);
+  d.u64(r.retries);
+  d.u64(r.hedges);
+  d.u64(r.hedge_wins);
+  d.u64(r.shed);
+  d.u64(r.lost_to_crashes);
+  d.u64(r.failed);
+  d.u64(r.fault_events);
   d.f64(r.throughput_per_s);
+  d.f64(r.goodput_per_s);
   d.f64(r.mean_energy.uplink_j);
   d.f64(r.mean_energy.downlink_j);
   d.f64(r.mean_energy.wait_j);
@@ -923,6 +1349,8 @@ std::uint64_t fleet_report_digest(const FleetStudy::Report& r) {
     d.u64(s.dispatched);
     d.u64(s.completed);
     d.u64(s.dropped);
+    d.u64(s.lost);
+    d.u64(s.rejected);
     d.u64(s.batches);
     d.f64(s.mean_batch_size);
     d.summary(s.queue_ms);

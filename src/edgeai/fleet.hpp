@@ -19,6 +19,7 @@
 #include "edgeai/model.hpp"
 #include "edgeai/offload.hpp"
 #include "edgeai/serving.hpp"
+#include "faults/fault_plan.hpp"
 #include "stats/histogram.hpp"
 #include "stats/reservoir.hpp"
 #include "stats/summary.hpp"
@@ -37,6 +38,39 @@ enum class DispatchPolicy : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(DispatchPolicy policy);
+
+/// Failure-aware dispatch knobs. Everything defaults OFF: with the
+/// defaults (and no fault schedule) the engine arms no timers, draws no
+/// extra RNG and runs byte-identically to a build without the feature —
+/// that is the zero-fault determinism gate of bench/faults.cpp.
+struct ResilienceConfig {
+  /// Per-request end-to-end deadline, armed at arrival as a cancellable
+  /// one-shot on the kernel's timer wheel. Expiry is terminal (the
+  /// request counts as timed out even if a copy completes later).
+  /// Zero = no timeouts.
+  Duration deadline;
+  /// Re-dispatch budget per request. A copy lost to a queue drop, a
+  /// crash, an unhealthy rejection or a remote drop is retried while
+  /// budget remains; dispatch is health-aware, so the retry fails over
+  /// to a live server. Zero = failures are terminal.
+  std::uint32_t max_retries = 0;
+  /// Backoff before retry k: retry_backoff * 2^(k-1) — deterministic,
+  /// jitter-free (the determinism contract forbids extra RNG draws).
+  /// Zero = retry immediately.
+  Duration retry_backoff;
+  /// Arm a hedged duplicate this long after dispatch; first completion
+  /// wins, the loser is discarded on arrival (lazy cancellation).
+  /// Zero = no hedging.
+  Duration hedge_delay;
+  /// Shed an arrival outright when total fleet load (queued + in
+  /// service) is at or above this. Zero = never shed.
+  std::uint32_t shed_queue_depth = 0;
+
+  [[nodiscard]] bool any() const {
+    return !deadline.is_zero() || max_retries > 0 || !hedge_delay.is_zero() ||
+           shed_queue_depth > 0;
+  }
+};
 
 /// Runs one fleet-serving workload on one simulator timeline.
 class FleetStudy {
@@ -75,6 +109,16 @@ class FleetStudy {
     double hist_hi_ms = 250.0;
     std::size_t hist_bins = 500;
     std::size_t quantile_cap = stats::ReservoirQuantile::kDefaultCap;
+
+    /// Seed-derived fault schedule (docs/ARCHITECTURE.md "Fault model").
+    /// Defaults to no faults. `servers` defaults to the fleet size and
+    /// `horizon` to ~1.25x the nominal arrival span when left zero. In
+    /// sharded runs each pod generates its own plan from its rebased
+    /// shard seed, so pods fail independently and the schedule is
+    /// worker-count invariant.
+    faults::FaultConfig faults;
+    /// Failure-aware dispatch policy; all-off by default.
+    ResilienceConfig resilience;
   };
 
   /// Per-server slice of the fleet report.
@@ -84,6 +128,8 @@ class FleetStudy {
     std::uint64_t dispatched = 0;  ///< requests routed to this server
     std::uint64_t completed = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t lost = 0;      ///< queued/in-flight work lost to crashes
+    std::uint64_t rejected = 0;  ///< submissions refused while not up
     std::uint64_t batches = 0;
     double mean_batch_size = 0.0;
     stats::Summary queue_ms;  ///< queue wait of its completed requests
@@ -104,11 +150,41 @@ class FleetStudy {
     double throughput_per_s = 0.0;
     EnergyBreakdown mean_energy;  ///< per completed request
 
+    // -- availability / goodput (fault model) -------------------------------
+    /// Requests that hit their deadline before a result — terminal.
+    std::uint64_t timed_out = 0;
+    /// Re-dispatch attempts made (failover retries).
+    std::uint64_t retries = 0;
+    /// Hedged duplicates launched, and how many won their race.
+    std::uint64_t hedges = 0;
+    std::uint64_t hedge_wins = 0;
+    /// Arrivals turned away by load shedding.
+    std::uint64_t shed = 0;
+    /// Submissions lost to server crashes (sum of per-server `lost`).
+    std::uint64_t lost_to_crashes = 0;
+    /// Terminal non-completions: sheds, timeouts, and copies whose
+    /// retry budget ran dry (equals `dropped` when resilience is off).
+    std::uint64_t failed = 0;
+    /// Fault-plan entries the injector fired during the run.
+    std::uint64_t fault_events = 0;
+    /// Delivered results per second of makespan that also met the SLO.
+    double goodput_per_s = 0.0;
+
+    /// Delivered results over offered-and-settled requests. 1.0 when
+    /// nothing failed (including the trivial empty run).
+    [[nodiscard]] double availability() const {
+      const std::uint64_t delivered = e2e_ms.count();
+      const std::uint64_t settled = delivered + failed;
+      return settled == 0 ? 1.0 : double(delivered) / double(settled);
+    }
+
     /// Completed requests with e2e <= Config::slo, exactly counted.
     std::uint64_t within_slo = 0;
-    /// within_slo over *offered* requests: drops miss the SLO too.
+    /// within_slo over delivered + failed requests: a failure misses the
+    /// SLO too. (Denominator uses the delivered count, not the server
+    /// completion sum, so hedge losers are not double-counted.)
     [[nodiscard]] double slo_attainment() const {
-      const std::uint64_t offered = completed + dropped;
+      const std::uint64_t offered = e2e_ms.count() + failed;
       return offered == 0 ? 0.0 : double(within_slo) / double(offered);
     }
 

@@ -30,14 +30,46 @@ struct RequestSlab {
     kDropped,    ///< rejected by the bounded queue — terminal
     kDownlink,   ///< batch done, response crossing back
     kDone,       ///< recorded — terminal
+    kTimedOut,   ///< deadline expired before a result — terminal
   };
+
+  /// Per-request resilience flags (in `flags`, hardened mode only).
+  static constexpr std::uint8_t kDelivered = 1;  ///< a copy won: recorded
+  static constexpr std::uint8_t kTimedOutFlag = 2;  ///< deadline expired
 
   std::vector<TimePoint> device_start;  ///< request left the device
   std::vector<State> state;
 
+  /// Resilience columns, engaged only by enable_hardening() (a fleet
+  /// config with faults or a resilience policy); empty — zero bytes,
+  /// zero writes — otherwise. POD on purpose: retry/hedge state rides
+  /// the slab, not per-request allocations.
+  bool hardened = false;
+  std::vector<std::uint8_t> attempt;  ///< re-dispatch attempts used
+  /// Live copies referencing the slot: in-flight primaries, hedge
+  /// duplicates and pending backoff retries. The slot recycles only at
+  /// zero, so a duplicate still queued on some server can never alias a
+  /// reused slot.
+  std::vector<std::uint8_t> pending;
+  std::vector<std::uint8_t> flags;
+  /// Bumped on every release: slot-carrying timer events (deadline,
+  /// hedge, backoff) capture the epoch they were armed under and no-op
+  /// on mismatch, so a stale timer from a recycled slot cannot fire
+  /// against the wrong request.
+  std::vector<std::uint32_t> epoch;
+
+  void enable_hardening() {
+    hardened = true;
+    attempt.assign(state.size(), 0);
+    pending.assign(state.size(), 0);
+    flags.assign(state.size(), 0);
+    epoch.assign(state.size(), 0);
+  }
+
   void resize(std::size_t requests) {
     device_start.assign(requests, TimePoint{});
     state.assign(requests, State::kScheduled);
+    if (hardened) enable_hardening();
   }
 
   /// Append one idle record and return its slot. Engines that recycle
@@ -48,6 +80,12 @@ struct RequestSlab {
   [[nodiscard]] std::uint32_t grow() {
     device_start.push_back(TimePoint{});
     state.push_back(State::kScheduled);
+    if (hardened) {
+      attempt.push_back(0);
+      pending.push_back(0);
+      flags.push_back(0);
+      epoch.push_back(0);
+    }
     return std::uint32_t(state.size() - 1);
   }
 

@@ -39,7 +39,13 @@ constexpr MetricDef kDefs[kCount] = {
     {"fleet.remote", MetricKind::kCounter, 13},
     {"fleet.completed", MetricKind::kCounter, 14},
     {"fleet.slo_misses", MetricKind::kCounter, 15},
-    {"obs.trace_dropped", MetricKind::kCounter, 16},
+    {"fleet.timeouts", MetricKind::kCounter, 16},
+    {"fleet.retries", MetricKind::kCounter, 17},
+    {"fleet.hedges", MetricKind::kCounter, 18},
+    {"fleet.shed", MetricKind::kCounter, 19},
+    {"fleet.lost_to_crashes", MetricKind::kCounter, 20},
+    {"fault.events", MetricKind::kCounter, 21},
+    {"obs.trace_dropped", MetricKind::kCounter, 22},
     {"shard.lookahead_ns", MetricKind::kGauge, 0},
     {"shard.shards", MetricKind::kGauge, 1},
     {"shard.drain_messages", MetricKind::kHistogram, 0},
@@ -47,7 +53,7 @@ constexpr MetricDef kDefs[kCount] = {
     {"serve.queue_depth", MetricKind::kHistogram, 2},
 };
 
-constexpr std::size_t kCounterSlots = 17;
+constexpr std::size_t kCounterSlots = 23;
 constexpr std::size_t kGaugeSlots = 2;
 constexpr std::size_t kHistSlots = 3;
 

@@ -50,6 +50,12 @@ enum class Metric : std::uint16_t {
   kFleetRemote,             ///< arrivals dispatched to a remote pod
   kFleetCompleted,          ///< fleet requests recorded done
   kFleetSloMisses,          ///< completed requests over the SLO
+  kFleetTimeouts,           ///< requests that hit their deadline
+  kFleetRetries,            ///< re-dispatch attempts made
+  kFleetHedges,             ///< hedged duplicate requests launched
+  kFleetShed,               ///< arrivals turned away by load shedding
+  kFleetLost,               ///< submissions lost to server crashes
+  kFaultEvents,             ///< fault-plan entries fired by the injector
   kTraceDropped,            ///< trace events dropped by the per-scope cap
   // gauges (coordinator/setup contexts only — last write wins, merged
   // by max; never written from concurrent shard execution)

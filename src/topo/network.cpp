@@ -131,6 +131,20 @@ void Network::remove_link(LinkId id) {
   invalidate_routing_caches();
 }
 
+void Network::restore_link(LinkId id) {
+  SIXG_ASSERT(id.value() < links_.size(), "unknown link");
+  SIXG_ASSERT(!link_alive_[id.value()],
+              "restore_link on a link that is already alive");
+  link_alive_[id.value()] = true;
+  rebuild_as_adjacency();
+  invalidate_routing_caches();
+}
+
+bool Network::link_alive(LinkId id) const {
+  SIXG_ASSERT(id.value() < links_.size(), "unknown link");
+  return link_alive_[id.value()];
+}
+
 // ---------------------------------------------------------------------------
 // query-time caches
 // ---------------------------------------------------------------------------

@@ -113,6 +113,15 @@ class Network {
 
   void remove_link(LinkId id);
 
+  /// Revive a link previously removed with remove_link(), under the SAME
+  /// LinkId — the fault-injection repair path (link MTTR elapses and the
+  /// fibre comes back). Invalidates every routing cache exactly like
+  /// remove_link, so a memoized detour can never outlive the repair.
+  void restore_link(LinkId id);
+
+  /// Is `id` currently alive (not removed)?
+  [[nodiscard]] bool link_alive(LinkId id) const;
+
   // -- accessors ------------------------------------------------------------
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] const Link& link(LinkId id) const;

@@ -355,6 +355,44 @@ TEST(Simulator, StaleHandleCancelIsANoOpAfterSlotReuse) {
   EXPECT_EQ(second, 1);
 }
 
+TEST(Simulator, OneShotCancellationUnderChurnNeverMisfires) {
+  // The request-timeout pattern under heavy slot recycling: every
+  // "request" arms a deadline; completions cancel it just in time,
+  // reusing freed timer slots across many generations. Exactly the
+  // uncancelled deadlines may fire, each exactly once, and cancelling
+  // an already-fired handle must stay a no-op.
+  Simulator sim;
+  constexpr int kRequests = 2000;
+  std::vector<Simulator::TimerHandle> deadline(kRequests);
+  std::vector<int> timeout_fired(kRequests, 0);
+  int completions = 0;
+  int expected_completions = 0;
+  for (int r = 0; r < kRequests; ++r) {
+    if (r % 3 != 2) ++expected_completions;
+    sim.schedule_at(TimePoint{} + Duration::micros(10 * r), [&, r] {
+      deadline[r] = sim.schedule_once(
+          Duration::micros(500), [&, r] { ++timeout_fired[r]; });
+      // Every third request "times out": its completion never arrives.
+      if (r % 3 == 2) return;
+      sim.schedule_after(Duration::micros(499 - (r % 97)), [&, r] {
+        deadline[r].cancel();
+        ++completions;
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completions, expected_completions);
+  for (int r = 0; r < kRequests; ++r) {
+    EXPECT_EQ(timeout_fired[r], r % 3 == 2 ? 1 : 0) << r;
+    deadline[r].cancel();  // stale: fired or cancelled long ago
+  }
+  // The churned wheel still arms and fires cleanly afterwards.
+  int late = 0;
+  sim.schedule_once(1_ms, [&] { ++late; });
+  sim.run();
+  EXPECT_EQ(late, 1);
+}
+
 TEST(Simulator, PeriodicAndOneShotAtEqualTimeKeepFifoOrder) {
   // A one-shot scheduled before a periodic's re-arm point runs first at
   // the shared instant: the periodic takes a fresh (later) seq when it

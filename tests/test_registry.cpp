@@ -83,6 +83,40 @@ TEST(ScenarioRegistry, FindSurvivesLaterAdds) {
 
 // ------------------------------------------------- built-in scenarios
 
+// --------------------------------------------------------- suggestions
+
+TEST(ScenarioRegistry, SuggestRanksPrefixBeforeEditDistance) {
+  ScenarioRegistry registry;
+  for (const char* name :
+       {"fleet-dispatch", "fleet-resilience", "fig2", "city-serving"})
+    ASSERT_TRUE(registry.add(make_scenario(name)));
+  const auto near = registry.suggest("fleet");
+  ASSERT_EQ(near.size(), 2u);  // both prefix matches, registration order
+  EXPECT_EQ(near[0]->name, "fleet-dispatch");
+  EXPECT_EQ(near[1]->name, "fleet-resilience");
+}
+
+TEST(ScenarioRegistry, SuggestFindsTyposByEditDistance) {
+  ScenarioRegistry registry;
+  for (const char* name : {"fig1", "fig2", "city-serving", "gap-analysis"})
+    ASSERT_TRUE(registry.add(make_scenario(name)));
+  const auto near = registry.suggest("city-servng");  // dropped letter
+  ASSERT_FALSE(near.empty());
+  EXPECT_EQ(near[0]->name, "city-serving");
+}
+
+TEST(ScenarioRegistry, SuggestDropsUnrelatedNamesAndHonoursLimit) {
+  ScenarioRegistry registry;
+  for (const char* name : {"alpha", "beta", "gamma", "delta"})
+    ASSERT_TRUE(registry.add(make_scenario(name)));
+  // Nothing within the distance cap of a wildly different name.
+  EXPECT_TRUE(registry.suggest("fleet-resilience-ablation").empty());
+  // Single-character typo of every name would rank them all; limit caps.
+  for (const char* name : {"beta1", "beta2", "beta3", "beta4"})
+    ASSERT_TRUE(registry.add(make_scenario(name)));
+  EXPECT_EQ(registry.suggest("beta0", 3).size(), 3u);
+}
+
 TEST(PaperScenarios, RegistersEveryPaperArtefact) {
   ScenarioRegistry registry;
   const std::size_t added = register_paper_scenarios(registry);

@@ -451,6 +451,68 @@ TEST(RouteCache, LinksOfSpanTracksMutation) {
   EXPECT_EQ(mini.net.links_of(mini.n_s1).size(), 0u);
 }
 
+TEST(RouteCache, RestoreLinkRevivesSameIdAndInvalidatesMemo) {
+  // The fault-injector repair path: remove_link then restore_link on the
+  // SAME LinkId. A memoized detour (or a stale links_of span) must not
+  // survive the repair.
+  Network net;
+  const AsId as = net.add_as(1, "A");
+  const geo::LatLon pos{47.0, 15.0};
+  const auto mk = [&](const char* n) {
+    return net.add_node(n, n, NodeKind::kRouter, as, pos);
+  };
+  const NodeId a = mk("a");
+  const NodeId b = mk("b");
+  const NodeId c = mk("c");
+  Network::LinkOptions slow;
+  slow.extra_latency = 10_ms;
+  net.add_link(a, b, LinkRelation::kIntraAs, slow);
+  net.add_link(b, c, LinkRelation::kIntraAs, slow);
+  const LinkId fast = net.add_link(a, c, LinkRelation::kIntraAs);
+
+  ASSERT_EQ(net.find_path(a, c).hop_count(), 1u);
+  ASSERT_TRUE(net.link_alive(fast));
+
+  net.remove_link(fast);
+  EXPECT_FALSE(net.link_alive(fast));
+  // Warm the memo with the detour before the repair.
+  ASSERT_EQ(net.find_path(a, c).hop_count(), 2u);
+  ASSERT_EQ(net.find_path(a, c).hop_count(), 2u);
+  const auto during = net.links_of(a);
+  EXPECT_EQ(during.size(), 1u);  // only a-b
+
+  net.restore_link(fast);
+  EXPECT_TRUE(net.link_alive(fast));
+  // Same id is back: links_of must include it again and the memoized
+  // detour must be gone.
+  const auto after = net.links_of(a);
+  EXPECT_EQ(after.size(), 2u);
+  const Path repaired = net.find_path(a, c);
+  EXPECT_EQ(repaired.hop_count(), 1u);
+  EXPECT_EQ(repaired.links[0], fast);
+}
+
+TEST(RouteCache, RestoreLinkInvalidatesAsRouteMemo) {
+  // Fail-and-repair of the only inter-AS peer edge: the AS-route memo
+  // must flip unreachable -> reachable across the restore, not serve the
+  // failure-time table.
+  MiniInternet mini;
+  ASSERT_FALSE(mini.net.as_path(mini.s1, mini.s3).empty());
+  const auto view = mini.net.links_of(mini.n_t1);
+  const std::vector<LinkId> t1_links(view.begin(), view.end());
+  std::vector<LinkId> cut;
+  for (const LinkId l : t1_links)
+    if (mini.net.link(l).relation == LinkRelation::kPeer) {
+      mini.net.remove_link(l);
+      cut.push_back(l);
+    }
+  ASSERT_FALSE(cut.empty());
+  // Warm the memo on the failed topology.
+  ASSERT_TRUE(mini.net.as_path(mini.s1, mini.s3).empty());
+  for (const LinkId l : cut) mini.net.restore_link(l);
+  EXPECT_FALSE(mini.net.as_path(mini.s1, mini.s3).empty());
+}
+
 // ------------------------------------------------------------ Europe world
 
 class EuropeFixture : public ::testing::Test {
