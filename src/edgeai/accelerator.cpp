@@ -66,8 +66,10 @@ AcceleratorServer::AcceleratorServer(netsim::Simulator& sim,
               "queue_capacity is preallocated; bound it realistically");
   SIXG_ASSERT(!config_.batch_window.is_negative(),
               "batch window must be non-negative");
+  SIXG_ASSERT(config_.lanes >= 1 && config_.lanes <= kMaxLanes,
+              "lane count must be in [1, kMaxLanes]");
   SIXG_ASSERT(acc_.fits(model_), "model does not fit accelerator memory");
-  ring_.resize(config_.queue_capacity);
+  ring_.resize(std::size_t{config_.lanes} * config_.queue_capacity);
   scratch_.resize(std::size_t{2} * config_.max_batch);
 }
 
@@ -124,10 +126,14 @@ void AcceleratorServer::fail() {
     busy_ = false;
     in_service_ = 0;
   }
-  for (std::size_t i = 0; i < count_; ++i) {
-    lose(ring_[(head_ + i) % config_.queue_capacity]);
+  for (std::uint32_t lane = 0; lane < config_.lanes; ++lane) {
+    const std::size_t base = std::size_t{lane} * config_.queue_capacity;
+    for (std::uint32_t i = 0; i < lane_count_[lane]; ++i) {
+      lose(ring_[base + (lane_head_[lane] + i) % config_.queue_capacity]);
+    }
+    lane_head_[lane] = 0;
+    lane_count_[lane] = 0;
   }
-  head_ = 0;
   count_ = 0;
 }
 
@@ -150,26 +156,35 @@ void AcceleratorServer::set_service_rate_multiplier(double factor) {
   slowdown_ = factor;
 }
 
-bool AcceleratorServer::admit(Entry entry) {
-  if (count_ >= config_.queue_capacity) {
+bool AcceleratorServer::admit(Entry entry, std::uint32_t lane) {
+  const std::size_t cap = config_.queue_capacity;
+  if (lane_count_[lane] >= cap) {
     ++dropped_;
+    ++lane_dropped_[lane];
     return false;
   }
   ++submitted_;
-  ring_[(head_ + count_) % config_.queue_capacity] = entry;
+  // head < cap and count < cap here, so the tail index wraps with one
+  // conditional subtract — no integer division on the per-submit path.
+  std::size_t tail = lane_head_[lane] + std::size_t{lane_count_[lane]};
+  if (tail >= cap) tail -= cap;
+  ring_[std::size_t{lane} * cap + tail] = entry;
+  ++lane_count_[lane];
   ++count_;
   if (!busy_) maybe_dispatch();
   return true;
 }
 
-bool AcceleratorServer::submit(std::uint32_t slot, std::uint64_t payload) {
+bool AcceleratorServer::submit(std::uint32_t slot, std::uint64_t payload,
+                               std::uint32_t lane) {
   SIXG_ASSERT(static_cast<bool>(sink_),
               "slab-path submit needs set_completion_sink() first");
+  SIXG_ASSERT(lane < config_.lanes, "lane out of range");
   if (health_ != ServerHealth::kUp) [[unlikely]] {
     ++rejected_;
     return false;
   }
-  return admit(Entry{slot, payload, sim_.now(), -1});
+  return admit(Entry{slot, payload, sim_.now(), -1}, lane);
 }
 
 bool AcceleratorServer::submit(std::uint64_t request_id,
@@ -178,8 +193,9 @@ bool AcceleratorServer::submit(std::uint64_t request_id,
     ++rejected_;
     return false;
   }
-  if (count_ >= config_.queue_capacity) {
+  if (lane_count_[0] >= config_.queue_capacity) {
     ++dropped_;
+    ++lane_dropped_[0];
     return false;
   }
   if (handlers_.capacity() == 0) {
@@ -199,13 +215,17 @@ bool AcceleratorServer::submit(std::uint64_t request_id,
     handler = std::int32_t(handlers_.size());
     handlers_.push_back(std::move(on_done));
   }
-  return admit(Entry{request_id, 0, sim_.now(), handler});
+  return admit(Entry{request_id, 0, sim_.now(), handler}, 0);
 }
 
 void AcceleratorServer::maybe_dispatch() {
   SIXG_ASSERT(!busy_, "dispatch re-evaluated while a batch is in flight");
   if (count_ == 0) return;
-  if (count_ >= config_.max_batch) {
+  // Iteration-level scheduling: an idle server with work always launches
+  // — on submit-to-idle and at every completion — so the batch re-forms
+  // continuously and no window timer ever arms. One fused condition keeps
+  // the window-mode hot path at a single (perfectly predicted) branch.
+  if (config_.continuous || count_ >= config_.max_batch) {
     launch_batch();
     return;
   }
@@ -230,10 +250,26 @@ void AcceleratorServer::launch_batch() {
   SIXG_OBS_HIST(obs::Metric::kHistBatchSize, n);
   const std::uint32_t offset = scratch_parity_ * config_.max_batch;
   scratch_parity_ ^= 1;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    scratch_[offset + i] = ring_[(head_ + i) % config_.queue_capacity];
+  // Fill lane-major: lane 0 drains completely before lane 1 contributes,
+  // so queued low-priority work is preempted by whole lanes (never
+  // mid-batch). Within a lane the order is FIFO; the cursor wraps with a
+  // compare instead of a per-element modulo.
+  const std::size_t cap = config_.queue_capacity;
+  std::uint32_t filled = 0;
+  for (std::uint32_t lane = 0; lane < config_.lanes && filled < n; ++lane) {
+    const auto take = std::uint32_t(
+        std::min<std::size_t>(lane_count_[lane], n - filled));
+    const std::size_t base = std::size_t{lane} * cap;
+    std::size_t idx = lane_head_[lane];
+    for (std::uint32_t i = 0; i < take; ++i) {
+      scratch_[offset + filled + i] = ring_[base + idx];
+      if (++idx == cap) idx = 0;
+    }
+    lane_head_[lane] = std::uint32_t(idx);
+    lane_count_[lane] -= take;
+    filled += take;
   }
-  head_ = (head_ + n) % config_.queue_capacity;
+  SIXG_ASSERT(filled == n, "lane rings must cover the batch");
   count_ -= n;
   ++batches_;
   completed_in_batches_ += n;

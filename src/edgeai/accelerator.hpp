@@ -11,6 +11,7 @@
 /// genuinely need per-request closures (tests, ad-hoc harnesses).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -74,6 +75,13 @@ enum class ServerHealth : std::uint8_t { kUp, kDraining, kDown };
 /// executes, arrivals queue; completion re-evaluates the same rules, so
 /// the server is work-conserving up to the window.
 ///
+/// With BatchingConfig::continuous the server instead re-forms the next
+/// batch at every completion directly from the lane rings (iteration-
+/// level scheduling, the vLLM/Orca regime): no window is ever armed, a
+/// lone request on an idle server launches as a batch of one, and batch
+/// sizes grow with load. Priority lanes (BatchingConfig::lanes) order
+/// batch formation — lane 0 drains first — in both modes.
+///
 /// Determinism: all scheduling goes through the simulator's FIFO
 /// event queue; no wall clock, no RNG. Same submissions -> same batches.
 /// Fault hooks (fail/recover/drain, the service-rate multiplier) are
@@ -81,6 +89,11 @@ enum class ServerHealth : std::uint8_t { kUp, kDraining, kDown };
 /// run stays a pure function of its seed.
 class AcceleratorServer {
  public:
+  /// Hard bound on priority lanes: the lane rings are preallocated at
+  /// construction and the per-lane cursors live in fixed arrays, so the
+  /// per-request path never allocates whatever the lane count.
+  static constexpr std::uint32_t kMaxLanes = 4;
+
   struct BatchingConfig {
     std::uint32_t max_batch = 8;  ///< launch as soon as this many wait
     /// Max *gathering* wait before a sub-max batch launches (0 = none).
@@ -88,10 +101,26 @@ class AcceleratorServer {
     /// queue — including right after a completion, Triton-style — so it
     /// bounds the fill wait from the moment a request could have been
     /// scheduled, not its total queue time behind in-flight batches.
+    /// Ignored in continuous mode (see below): the window timer is never
+    /// armed there.
     Duration batch_window;
-    /// Beyond this, submissions drop. The queue ring is preallocated to
-    /// this many entries, so pick the real bound, not "infinity".
+    /// Beyond this, submissions drop. Each lane's ring is preallocated
+    /// to this many entries (the bound is PER LANE), so pick the real
+    /// bound, not "infinity".
     std::size_t queue_capacity = 256;
+    /// Iteration-level (continuous) scheduling: every time the server is
+    /// free with work queued — on submit to an idle server and at every
+    /// batch completion — the next batch forms immediately from whatever
+    /// waits, up to max_batch. No window is ever armed, so batches grow
+    /// with load instead of idling the accelerator between windows.
+    /// False keeps the classic window+max-batch scheme bit-identical.
+    bool continuous = false;
+    /// Priority lanes, 1..kMaxLanes. Lane 0 is the highest priority:
+    /// batch formation drains lanes in index order, so queued
+    /// lower-priority work is preempted by lane (never mid-batch — a
+    /// launched batch always runs to completion). 1 = the classic single
+    /// FIFO, bit-identical to the pre-lane server.
+    std::uint32_t lanes = 1;
   };
 
   /// Per-request completion record.
@@ -166,9 +195,11 @@ class AcceleratorServer {
 
   /// Slab path: enqueue caller-side record `slot` at sim.now(), carrying
   /// an opaque `payload` word back to the completion sink. Returns false
-  /// (and counts a drop) when the queue is at capacity; the sink then
-  /// never fires for this slot. Allocation-free.
-  bool submit(std::uint32_t slot, std::uint64_t payload = 0);
+  /// (and counts a drop) when the lane's queue is at capacity; the sink
+  /// then never fires for this slot. Allocation-free. `lane` picks the
+  /// priority lane (< batching().lanes; 0 = highest priority).
+  bool submit(std::uint32_t slot, std::uint64_t payload = 0,
+              std::uint32_t lane = 0);
 
   /// Legacy path: enqueue a request with its own completion handler.
   /// Returns false (and counts a drop) when the queue is at capacity;
@@ -179,7 +210,12 @@ class AcceleratorServer {
   [[nodiscard]] const AcceleratorProfile& accelerator() const { return acc_; }
   [[nodiscard]] const ModelProfile& model() const { return model_; }
   [[nodiscard]] const BatchingConfig& batching() const { return config_; }
+  /// Total queued across all lanes.
   [[nodiscard]] std::size_t queue_depth() const { return count_; }
+  /// Queued in one lane.
+  [[nodiscard]] std::size_t queue_depth(std::uint32_t lane) const {
+    return lane_count_[lane];
+  }
   [[nodiscard]] bool busy() const { return busy_; }
   /// Requests in the batch currently executing (0 when idle): together
   /// with queue_depth() this is the load a dispatch policy sees.
@@ -187,6 +223,12 @@ class AcceleratorServer {
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Queue-full drops charged to one lane (sums to dropped() over
+  /// lanes): overload attribution distinct from policy sheds, which the
+  /// dispatch layer counts before submit() is ever reached.
+  [[nodiscard]] std::uint64_t dropped_queue_full(std::uint32_t lane) const {
+    return lane_dropped_[lane];
+  }
   [[nodiscard]] std::uint64_t batches_launched() const { return batches_; }
   /// Requests lost to fail() (queued + mid-batch), both paths.
   [[nodiscard]] std::uint64_t lost_to_crashes() const { return lost_; }
@@ -209,7 +251,7 @@ class AcceleratorServer {
     std::int32_t handler = -1;  ///< handlers_ index; -1 = sink path
   };
 
-  [[nodiscard]] bool admit(Entry entry);
+  [[nodiscard]] bool admit(Entry entry, std::uint32_t lane);
   /// Re-evaluate the batching rules; only meaningful when idle.
   void maybe_dispatch();
   void launch_batch();
@@ -226,9 +268,13 @@ class AcceleratorServer {
   ModelProfile model_;
   BatchingConfig config_;
 
-  /// Bounded FIFO ring, preallocated to queue_capacity entries.
+  /// Bounded FIFO rings, one queue_capacity segment per lane (lane L
+  /// occupies [L * queue_capacity, (L+1) * queue_capacity)), all
+  /// preallocated at construction. count_ is the total across lanes —
+  /// the load a dispatch policy sees.
   std::vector<Entry> ring_;
-  std::size_t head_ = 0;
+  std::array<std::uint32_t, kMaxLanes> lane_head_{};
+  std::array<std::uint32_t, kMaxLanes> lane_count_{};
   std::size_t count_ = 0;
 
   /// Batch scratch ring: two max_batch regions used alternately, so a
@@ -262,6 +308,8 @@ class AcceleratorServer {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
+  /// Per-lane queue-full attribution; sums to dropped_.
+  std::array<std::uint64_t, kMaxLanes> lane_dropped_{};
   std::uint64_t batches_ = 0;
   std::uint64_t completed_in_batches_ = 0;
   std::uint64_t lost_ = 0;

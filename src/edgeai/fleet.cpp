@@ -46,6 +46,11 @@ constexpr std::uint64_t kUplinkMask = (std::uint64_t{1} << kOriginShift) - 1;
 constexpr std::uint64_t kRemoteRouteSalt = 0x5a07;  ///< coin + pod + uplink
 constexpr std::uint64_t kRemoteDownSalt = 0x5a17;   ///< downlink at the pod
 
+/// Per-arrival SLO-class draw (dedicated stream: the class mix cannot
+/// perturb arrival, network or remote streams, and a classless config
+/// never draws it).
+constexpr std::uint64_t kClassSalt = 0xc1a5;
+
 /// Payload origin-tag value marking a local hedged duplicate (never a
 /// real origin: setup asserts the shard count stays below it). Lets the
 /// completion sink route hedge copies without widening the payload word.
@@ -177,6 +182,36 @@ struct FleetEngine {
   std::vector<netsim::Simulator::TimerHandle> deadline_timers;
   std::vector<netsim::Simulator::TimerHandle> hedge_timers;
 
+  // -- SLO classes + arrival shaping (cold unless configured) -------------
+  /// True when Config::classes is non-empty: arrivals draw a class from
+  /// `class_rng`, per-class admission control applies, submissions ride
+  /// the class's accelerator lane and records score the class SLO. False
+  /// = none of that executes and no class RNG is ever drawn.
+  bool classes_on = false;
+  bool shaped = false;  ///< Config::shape.active(), hoisted off the hot path
+  Rng class_rng;
+  /// Resolved per-class tables, indexed by class (setup_engine fills
+  /// them: shares normalized to a cumulative distribution, zero slo /
+  /// deadline replaced by their config-level defaults).
+  std::vector<double> class_cum;
+  std::vector<Duration> class_slo;
+  std::vector<Duration> class_deadline;
+  std::vector<std::uint32_t> class_lane;
+  std::vector<std::uint32_t> class_shed;
+
+  [[nodiscard]] std::uint32_t draw_class() {
+    const double u = class_rng.uniform();
+    std::uint32_t c = 0;
+    while (c + 1 < class_cum.size() && u >= class_cum[c]) ++c;
+    return c;
+  }
+
+  [[nodiscard]] std::uint64_t total_load() const {
+    std::uint64_t total = 0;
+    for (const ServerState& s : servers) total += load_of(s);
+    return total;
+  }
+
   FleetEngine(const FleetStudy::Config& cfg, netsim::Simulator& timeline,
               FleetStudy::Report& rep)
       : config(cfg),
@@ -188,7 +223,9 @@ struct FleetEngine {
         interarrival(0.0, 1.0 / cfg.arrivals_per_second),
         report(rep),
         remote_route_rng(derive_seed(cfg.seed, kRemoteRouteSalt)),
-        remote_down_rng(derive_seed(cfg.seed, kRemoteDownSalt)) {
+        remote_down_rng(derive_seed(cfg.seed, kRemoteDownSalt)),
+        shaped(cfg.shape.active()),
+        class_rng(derive_seed(cfg.seed, kClassSalt)) {
     up_airtime = energy.uplink_airtime(cfg.model);
     down_airtime = energy.downlink_airtime(cfg.model);
     uplink_j = cfg.energy.radio.tx_watts * up_airtime.sec();
@@ -243,7 +280,16 @@ struct FleetEngine {
       interarrival.sample_into(arrival_sec, arrival_rng);
       arrival_next = 0;
     }
-    return Duration::from_seconds_f(arrival_sec[arrival_next++]);
+    const double sec = arrival_sec[arrival_next++];
+    // Arrival shaping scales the draw by the instantaneous rate
+    // multiplier at the generating event's time (fleet arrivals are
+    // chained, so that time is always available). The unshaped draw
+    // passes through untouched — bit-identical to the legacy stream.
+    if (shaped) [[unlikely]] {
+      return Duration::from_seconds_f(
+          sec / config.shape.rate_multiplier(sim.now() - TimePoint{}));
+    }
+    return Duration::from_seconds_f(sec);
   }
 
   [[nodiscard]] Duration next_uplink(const ServerState& target) {
@@ -400,7 +446,7 @@ struct FleetEngine {
   // Remote-path handlers (sharded runs only).
   void dispatch_remote(std::uint32_t slot);
   void on_remote_submit(std::uint32_t origin, std::uint32_t slot,
-                        std::int64_t up_ns);
+                        std::int64_t up_ns, std::uint8_t lane);
   void on_remote_record(std::uint32_t slot, std::uint32_t batch,
                         std::int64_t net_ns, std::int64_t queue_ns,
                         std::int64_t service_ns, double compute_j);
@@ -472,7 +518,10 @@ struct RemoteSubmitEvent {
   std::uint32_t origin;
   std::uint32_t slot;  ///< origin shard's slot — opaque here
   std::int64_t up_ns;
-  void operator()() const { engine->on_remote_submit(origin, slot, up_ns); }
+  std::uint8_t lane;  ///< origin class's priority lane at the serving pod
+  void operator()() const {
+    engine->on_remote_submit(origin, slot, up_ns, lane);
+  }
 };
 static_assert(sizeof(RemoteSubmitEvent) <= netsim::InplaceAction::kInlineBytes);
 
@@ -511,11 +560,34 @@ void FleetEngine::on_arrival() {
     arrival_hardened();
     return;
   }
+  std::uint32_t cls = 0;
+  if (classes_on) [[unlikely]] {
+    cls = draw_class();
+    FleetStudy::Report::ClassStats& cs = report.classes[cls];
+    ++cs.offered;
+    // Per-class admission control: turn the arrival away before it
+    // holds a slot or draws any network stream.
+    const std::uint32_t bound = class_shed[cls];
+    if (bound > 0 && total_load() >= bound) {
+      ++cs.shed;
+      ++cs.failed;
+      ++report.shed;
+      ++report.failed;
+      SIXG_OBS_COUNT(obs::Metric::kFleetShed, 1);
+      // The shed arrival never held a slot, so it cannot trigger the
+      // last-release sampler stop — do it here when it was the last.
+      if (sampler && inflight == 0 && spawned == config.requests) {
+        sampler->stop();
+      }
+      return;
+    }
+  }
   const std::uint32_t slot = acquire_slot();
   SIXG_ASSERT(slab.state[slot] == RequestSlab::State::kScheduled,
               "acquired slot is not idle");
   slab.state[slot] = RequestSlab::State::kUplink;
   slab.device_start[slot] = sim.now();
+  if (classes_on) [[unlikely]] slab.cls[slot] = std::uint8_t(cls);
   SIXG_OBS_COUNT(obs::Metric::kFleetArrivals, 1);
   if (sampler) ++inflight;
   // The remote coin is tossed only when a remote pod exists, so a
@@ -539,12 +611,22 @@ void FleetEngine::on_arrival() {
 
 void FleetEngine::arrival_hardened() {
   const ResilienceConfig& res = config.resilience;
-  if (res.shed_queue_depth > 0) {
-    std::uint64_t total = 0;
-    for (const ServerState& s : servers) total += load_of(s);
-    if (total >= res.shed_queue_depth) {
+  std::uint32_t cls = 0;
+  if (classes_on) {
+    cls = draw_class();
+    ++report.classes[cls].offered;
+  }
+  const std::uint32_t class_bound = classes_on ? class_shed[cls] : 0;
+  if (res.shed_queue_depth > 0 || class_bound > 0) {
+    const std::uint64_t total = total_load();
+    if ((res.shed_queue_depth > 0 && total >= res.shed_queue_depth) ||
+        (class_bound > 0 && total >= class_bound)) {
       ++report.shed;
       ++report.failed;
+      if (classes_on) {
+        ++report.classes[cls].shed;
+        ++report.classes[cls].failed;
+      }
       SIXG_OBS_COUNT(obs::Metric::kFleetShed, 1);
       // The shed arrival never held a slot, so it cannot trigger the
       // last-release sampler stop — do it here when it was the last.
@@ -559,15 +641,20 @@ void FleetEngine::arrival_hardened() {
               "acquired slot is not idle");
   slab.state[slot] = RequestSlab::State::kUplink;
   slab.device_start[slot] = sim.now();
+  if (classes_on) slab.cls[slot] = std::uint8_t(cls);
   slab.attempt[slot] = 0;
   slab.pending[slot] = 1;
   slab.flags[slot] = 0;
   SIXG_OBS_COUNT(obs::Metric::kFleetArrivals, 1);
   if (sampler) ++inflight;
-  if (!res.deadline.is_zero()) {
+  // Class deadlines resolve at setup (zero spec inherits res.deadline),
+  // so the table lookup already IS the effective deadline.
+  const Duration deadline =
+      classes_on ? class_deadline[cls] : res.deadline;
+  if (!deadline.is_zero()) {
     if (deadline_timers.size() <= slot) deadline_timers.resize(slot + 1);
     deadline_timers[slot] = sim.schedule_once(
-        res.deadline, FleetTimeoutEvent{this, slot, slab.epoch[slot]});
+        deadline, FleetTimeoutEvent{this, slot, slab.epoch[slot]});
   }
   if (remote_fraction > 0.0 && shard_count > 1 &&
       remote_route_rng.chance(remote_fraction)) {
@@ -610,17 +697,24 @@ void FleetEngine::on_submit(std::uint32_t slot, std::uint32_t server,
   const std::uint64_t payload =
       hedge ? (kHedgeTag << kOriginShift) | std::uint64_t(up.ns())
             : std::uint64_t(up.ns());
-  if (servers[server].server->submit(slot, payload)) {
+  const std::uint32_t lane =
+      classes_on ? class_lane[slab.cls[slot]] : 0;
+  if (servers[server].server->submit(slot, payload, lane)) {
     if (!hardened || slab.state[slot] == RequestSlab::State::kUplink)
       slab.state[slot] = RequestSlab::State::kQueued;
     return;
   }
+  // An accepting server only refuses on a full lane ring — attribute the
+  // drop event to the class (health rejections are counted per server).
+  if (classes_on && servers[server].server->accepting()) [[unlikely]]
+    ++report.classes[slab.cls[slot]].dropped_queue_full;
   if (hardened) [[unlikely]] {
     copy_died(slot);
     return;
   }
   slab.state[slot] = RequestSlab::State::kDropped;
   ++report.failed;
+  if (classes_on) [[unlikely]] ++report.classes[slab.cls[slot]].failed;
   release_slot(slot);
 }
 
@@ -635,12 +729,14 @@ void FleetEngine::dispatch_remote(std::uint32_t slot) {
   if (hardened) [[unlikely]] up = up + radio_defer();
   SIXG_ASSERT((std::uint64_t(up.ns()) >> kOriginShift) == 0,
               "remote uplink latency overflows the payload word");
+  const std::uint8_t lane =
+      classes_on ? std::uint8_t(class_lane[slab.cls[slot]]) : 0;
   sharded->post(self, dst, sim.now() + up,
-                RemoteSubmitEvent{peers[dst], self, slot, up.ns()});
+                RemoteSubmitEvent{peers[dst], self, slot, up.ns(), lane});
 }
 
 void FleetEngine::on_remote_submit(std::uint32_t origin, std::uint32_t slot,
-                                   std::int64_t up_ns) {
+                                   std::int64_t up_ns, std::uint8_t lane) {
   const std::uint32_t k = dispatch();
   if (k == kNoServer) [[unlikely]] {
     // Every server of this pod is down or draining: same contract as a
@@ -654,7 +750,7 @@ void FleetEngine::on_remote_submit(std::uint32_t origin, std::uint32_t slot,
   ++target.dispatched;
   const std::uint64_t payload =
       ((std::uint64_t(origin) + 1) << kOriginShift) | std::uint64_t(up_ns);
-  if (!target.server->submit(slot, payload)) {
+  if (!target.server->submit(slot, payload, lane)) {
     // Queue full. The owner must record the drop and recycle the slot;
     // never touch another shard's slab from this timeline — post the
     // notice back through the mailbox (it rides the window, the floor
@@ -733,10 +829,17 @@ void FleetEngine::on_record(std::uint32_t slot, std::uint32_t server,
   report.service_ms.add(service.ms());
   report.batch_size.add(double(batch));
   SIXG_OBS_COUNT(obs::Metric::kFleetCompleted, 1);
-  if (e2e <= config.slo) {
+  const Duration slo = classes_on ? class_slo[slab.cls[slot]] : config.slo;
+  if (e2e <= slo) {
     ++report.within_slo;
   } else {
     SIXG_OBS_COUNT(obs::Metric::kFleetSloMisses, 1);
+  }
+  if (classes_on) [[unlikely]] {
+    FleetStudy::Report::ClassStats& cs = report.classes[slab.cls[slot]];
+    ++cs.delivered;
+    cs.e2e_ms.add(e2e_ms);
+    if (e2e <= slo) ++cs.within_slo;
   }
   // Deterministic 1-in-64 request-lifecycle sampling, keyed on the
   // report's own completion ordinal.
@@ -795,10 +898,17 @@ void FleetEngine::on_remote_record(std::uint32_t slot, std::uint32_t batch,
   report.service_ms.add(Duration::nanos(service_ns).ms());
   report.batch_size.add(double(batch));
   SIXG_OBS_COUNT(obs::Metric::kFleetCompleted, 1);
-  if (e2e <= config.slo) {
+  const Duration slo = classes_on ? class_slo[slab.cls[slot]] : config.slo;
+  if (e2e <= slo) {
     ++report.within_slo;
   } else {
     SIXG_OBS_COUNT(obs::Metric::kFleetSloMisses, 1);
+  }
+  if (classes_on) [[unlikely]] {
+    FleetStudy::Report::ClassStats& cs = report.classes[slab.cls[slot]];
+    ++cs.delivered;
+    cs.e2e_ms.add(e2e_ms);
+    if (e2e <= slo) ++cs.within_slo;
   }
   if (obs::kProbesCompiled && obs::trace_on() &&
       (report.e2e_ms.count() & obs::kTraceRequestMask) == 0) {
@@ -824,6 +934,10 @@ void FleetEngine::on_remote_record(std::uint32_t slot, std::uint32_t batch,
 }
 
 void FleetEngine::on_remote_drop(std::uint32_t slot) {
+  // The mailbox notice does not carry the serving pod's drop reason;
+  // charge the class's queue-full counter (the overwhelmingly common
+  // cause — a crashed pod's rejections ride the same notice).
+  if (classes_on) ++report.classes[slab.cls[slot]].dropped_queue_full;
   if (hardened) [[unlikely]] {
     // The serving pod dropped or lost this copy; the failure crossed
     // the shard boundary through the mailbox and resolves HERE, on the
@@ -835,6 +949,7 @@ void FleetEngine::on_remote_drop(std::uint32_t slot) {
               "remote drop notice for a slot that is not in flight");
   slab.state[slot] = RequestSlab::State::kDropped;
   ++report.failed;
+  if (classes_on) ++report.classes[slab.cls[slot]].failed;
   release_slot(slot);
 }
 
@@ -873,6 +988,7 @@ void FleetEngine::copy_died(std::uint32_t slot) {
   // Last copy gone and nothing delivered: the request failed.
   slab.state[slot] = RequestSlab::State::kDropped;
   ++report.failed;
+  if (classes_on) ++report.classes[slab.cls[slot]].failed;
   release_hardened(slot);
 }
 
@@ -893,6 +1009,11 @@ void FleetEngine::on_timeout(std::uint32_t slot, std::uint32_t epoch) {
   slab.state[slot] = RequestSlab::State::kTimedOut;
   ++report.timed_out;
   ++report.failed;
+  if (classes_on) {
+    FleetStudy::Report::ClassStats& cs = report.classes[slab.cls[slot]];
+    ++cs.timed_out;
+    ++cs.failed;
+  }
   SIXG_OBS_COUNT(obs::Metric::kFleetTimeouts, 1);
   if (!hedge_timers.empty()) hedge_timers[slot].cancel();
   // Copies still in flight drain through the discard paths and release
@@ -978,6 +1099,40 @@ void setup_engine(FleetEngine& engine, const FleetStudy::Config& config) {
 
   engine.init_batch_lane();
 
+  // SLO classes: resolve the spec list into flat per-class tables and
+  // engage the slab's class column. Config-gated — with no classes the
+  // class stream is never drawn and none of this executes.
+  bool class_deadlines = false;
+  if (!config.classes.empty()) {
+    SIXG_ASSERT(config.classes.size() <= 256,
+                "the per-slot class index is one byte");
+    engine.classes_on = true;
+    engine.slab.enable_classes();
+    double total_share = 0.0;
+    for (const FleetStudy::SloClassSpec& c : config.classes) {
+      SIXG_ASSERT(c.share > 0.0, "class share must be positive");
+      total_share += c.share;
+    }
+    double cum = 0.0;
+    for (const FleetStudy::SloClassSpec& c : config.classes) {
+      for (const FleetStudy::ServerSpec& spec : config.servers) {
+        SIXG_ASSERT(c.lane < spec.batching.lanes,
+                    "class lane exceeds a server's configured lane count");
+      }
+      cum += c.share / total_share;
+      engine.class_cum.push_back(cum);
+      engine.class_slo.push_back(c.slo.is_zero() ? config.slo : c.slo);
+      engine.class_deadline.push_back(
+          c.deadline.is_zero() ? config.resilience.deadline : c.deadline);
+      engine.class_lane.push_back(c.lane);
+      engine.class_shed.push_back(c.shed_queue_depth);
+      if (!engine.class_deadline.back().is_zero()) class_deadlines = true;
+    }
+    // Pin the top of the cumulative table: FP rounding must never leave
+    // a u just under 1.0 without a class.
+    engine.class_cum.back() = 1.0;
+  }
+
   // Fault schedule + failure-aware dispatch. Everything below is
   // config-gated: with no faults and no resilience policy, no slab
   // column is engaged, no sink installed, no event armed and no RNG
@@ -994,7 +1149,9 @@ void setup_engine(FleetEngine& engine, const FleetStudy::Config& config) {
     fc.horizon = Duration::from_seconds_f(
         1.25 * double(config.requests) / config.arrivals_per_second);
   }
-  if (fc.any() || config.resilience.any()) {
+  // A per-class deadline arms the hardened request path too: expiry and
+  // settled-copy accounting need the slab's resilience columns.
+  if (fc.any() || config.resilience.any() || class_deadlines) {
     engine.hardened = true;
     engine.resilience_on = config.resilience.any();
     engine.slab.enable_hardening();
@@ -1127,6 +1284,10 @@ void init_streaming_report(FleetStudy::Report& report,
   report.e2e_q = stats::ReservoirQuantile{config.quantile_cap,
                                           derive_seed(config.seed, 0xf95e)};
   report.e2e_hist.emplace(0.0, config.hist_hi_ms, config.hist_bins);
+  report.classes.resize(config.classes.size());
+  for (std::size_t c = 0; c < config.classes.size(); ++c) {
+    report.classes[c].name = config.classes[c].name;
+  }
 }
 
 /// Publish the end-of-run e2e distribution to the obs runtime.
@@ -1245,6 +1406,22 @@ ShardedFleetStudy::Report ShardedFleetStudy::run(const Config& config) {
     report.hedge_wins += r.hedge_wins;
     report.shed += r.shed;
     report.failed += r.failed;
+    // Class lists are index-aligned: every shard runs the same class
+    // spec, so the merge is elementwise.
+    SIXG_ASSERT(report.classes.size() == r.classes.size(),
+                "shard reports disagree on the class list");
+    for (std::size_t c = 0; c < report.classes.size(); ++c) {
+      FleetStudy::Report::ClassStats& into = report.classes[c];
+      const FleetStudy::Report::ClassStats& from = r.classes[c];
+      into.offered += from.offered;
+      into.delivered += from.delivered;
+      into.within_slo += from.within_slo;
+      into.shed += from.shed;
+      into.dropped_queue_full += from.dropped_queue_full;
+      into.timed_out += from.timed_out;
+      into.failed += from.failed;
+      into.e2e_ms.merge(from.e2e_ms);
+    }
   }
   EnergyBreakdown energy_sum;
   TimePoint makespan;
@@ -1354,6 +1531,19 @@ std::uint64_t fleet_report_digest(const FleetStudy::Report& r) {
     d.u64(s.batches);
     d.f64(s.mean_batch_size);
     d.summary(s.queue_ms);
+  }
+  // Class rows LAST, so a classless report digests exactly as before
+  // the feature existed (the loop body never runs on an empty list).
+  for (const FleetStudy::Report::ClassStats& c : r.classes) {
+    d.str(c.name);
+    d.u64(c.offered);
+    d.u64(c.delivered);
+    d.u64(c.within_slo);
+    d.u64(c.shed);
+    d.u64(c.dropped_queue_full);
+    d.u64(c.timed_out);
+    d.u64(c.failed);
+    d.summary(c.e2e_ms);
   }
   return d.h;
 }

@@ -92,6 +92,34 @@ class FleetStudy {
     NetLeg downlink;
   };
 
+  /// One SLO class of the offered load (e.g. "interactive" / "batch").
+  /// Classes give the scheduler its priority signal: each arrival draws
+  /// its class from a dedicated seed-derived stream by normalized share,
+  /// is admission-controlled by the class's shed bound, submits to the
+  /// class's accelerator priority lane, and is scored against the
+  /// class's own SLO.
+  struct SloClassSpec {
+    std::string name;
+    /// Relative share of arrivals drawn into this class (normalized
+    /// over the class list; need not sum to 1).
+    double share = 1.0;
+    /// Per-class latency SLO; zero inherits Config::slo.
+    Duration slo;
+    /// Per-class end-to-end deadline, terminal on expiry. A non-zero
+    /// value arms the hardened request path even when
+    /// ResilienceConfig::deadline is zero; zero inherits that default.
+    Duration deadline;
+    /// Accelerator priority lane this class submits to (0 = highest
+    /// priority). Must be < every ServerSpec's batching.lanes.
+    std::uint32_t lane = 0;
+    /// Admission control: shed an arrival of this class outright when
+    /// total fleet load (queued + in service) is at or above this —
+    /// the per-class analogue of ResilienceConfig::shed_queue_depth
+    /// (whichever bound is non-zero and tighter sheds first).
+    /// Zero = this class is never shed by the class bound.
+    std::uint32_t shed_queue_depth = 0;
+  };
+
   struct Config {
     ModelProfile model = ModelZoo::at("det-base");
     std::vector<ServerSpec> servers;
@@ -119,6 +147,14 @@ class FleetStudy {
     faults::FaultConfig faults;
     /// Failure-aware dispatch policy; all-off by default.
     ResilienceConfig resilience;
+    /// SLO service classes. Empty (the default) = one implicit class:
+    /// the class stream is never drawn, every request rides lane 0, and
+    /// the run is byte-identical to a build without the feature.
+    std::vector<SloClassSpec> classes;
+    /// Trace-style arrival modulation (diurnal curve + flash crowds);
+    /// inactive by default. Fleet arrivals are always chained, so the
+    /// shape applies directly (no extra flag).
+    ArrivalShape shape;
   };
 
   /// Per-server slice of the fleet report.
@@ -178,15 +214,45 @@ class FleetStudy {
       return settled == 0 ? 1.0 : double(delivered) / double(settled);
     }
 
-    /// Completed requests with e2e <= Config::slo, exactly counted.
+    /// Completed requests with e2e <= the scoring SLO, exactly counted.
+    /// Without classes the scoring SLO is Config::slo; with classes each
+    /// delivery is judged against its own class SLO.
     std::uint64_t within_slo = 0;
-    /// within_slo over delivered + failed requests: a failure misses the
-    /// SLO too. (Denominator uses the delivered count, not the server
-    /// completion sum, so hedge losers are not double-counted.)
+    /// within_slo over *settled* requests — delivered plus failed, the
+    /// same denominator availability() uses — because a shed, timed-out
+    /// or dropped request misses the SLO too. "Delivered" is the e2e
+    /// sample count, not the per-server completion sum: each request
+    /// records at most one result, so hedge losers (whose copies inflate
+    /// the server sums) cannot double-count here. Pinned by
+    /// tests/test_fleet.cpp (SloAttainmentCountsFailuresInDenominator).
     [[nodiscard]] double slo_attainment() const {
-      const std::uint64_t offered = e2e_ms.count() + failed;
-      return offered == 0 ? 0.0 : double(within_slo) / double(offered);
+      const std::uint64_t settled = e2e_ms.count() + failed;
+      return settled == 0 ? 0.0 : double(within_slo) / double(settled);
     }
+
+    /// Per-class slice of the report; populated (in Config::classes
+    /// order) only when classes are configured.
+    struct ClassStats {
+      std::string name;
+      std::uint64_t offered = 0;     ///< arrivals drawn into this class
+      std::uint64_t delivered = 0;   ///< results recorded
+      std::uint64_t within_slo = 0;  ///< delivered within the class SLO
+      std::uint64_t shed = 0;        ///< admission-control sheds
+      /// Queue-full drop *events* charged to this class — attribution
+      /// distinct from policy sheds. A retried copy can both drop and
+      /// later deliver, so events can exceed terminal failures.
+      std::uint64_t dropped_queue_full = 0;
+      std::uint64_t timed_out = 0;  ///< class-deadline expiries, terminal
+      std::uint64_t failed = 0;     ///< terminal non-completions
+      stats::Summary e2e_ms;        ///< delivered end-to-end latency
+
+      /// Class-level analogue of Report::slo_attainment().
+      [[nodiscard]] double slo_attainment() const {
+        const std::uint64_t settled = delivered + failed;
+        return settled == 0 ? 0.0 : double(within_slo) / double(settled);
+      }
+    };
+    std::vector<ClassStats> classes;
 
     std::vector<ServerStats> servers;
   };

@@ -58,6 +58,13 @@ struct RequestSlab {
   /// against the wrong request.
   std::vector<std::uint32_t> epoch;
 
+  /// SLO-class column, engaged only by enable_classes() (a fleet config
+  /// with service classes); empty otherwise. The class is drawn at
+  /// arrival and read at submit (lane pick) and record (per-class SLO
+  /// scoring), so it must outlive the event hops.
+  bool classed = false;
+  std::vector<std::uint8_t> cls;
+
   void enable_hardening() {
     hardened = true;
     attempt.assign(state.size(), 0);
@@ -66,10 +73,16 @@ struct RequestSlab {
     epoch.assign(state.size(), 0);
   }
 
+  void enable_classes() {
+    classed = true;
+    cls.assign(state.size(), 0);
+  }
+
   void resize(std::size_t requests) {
     device_start.assign(requests, TimePoint{});
     state.assign(requests, State::kScheduled);
     if (hardened) enable_hardening();
+    if (classed) enable_classes();
   }
 
   /// Append one idle record and return its slot. Engines that recycle
@@ -86,6 +99,7 @@ struct RequestSlab {
       flags.push_back(0);
       epoch.push_back(0);
     }
+    if (classed) cls.push_back(0);
     return std::uint32_t(state.size() - 1);
   }
 

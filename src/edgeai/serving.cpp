@@ -35,6 +35,27 @@ void ServingStudy::Report::finalize() {
   std::sort(sorted_e2e_ms_.begin(), sorted_e2e_ms_.end());
 }
 
+double ArrivalShape::rate_multiplier(Duration since_start) const {
+  double m = 1.0;
+  if (diurnal_amplitude > 0.0 && !diurnal_period.is_zero()) {
+    // Triangle wave on the phase in [0, 1): -1 at phase 0 (trough), +1
+    // at 0.5 (peak). Integer modulo keeps the phase exact over long
+    // runs; the wave itself is two FP ops, no libm.
+    const double phase = double(since_start.ns() % diurnal_period.ns()) /
+                         double(diurnal_period.ns());
+    const double tri =
+        1.0 - 4.0 * (phase < 0.5 ? 0.5 - phase : phase - 0.5);
+    m = 1.0 + diurnal_amplitude * tri;
+  }
+  if (flash_multiplier != 1.0 && !flash_every.is_zero() &&
+      !flash_duration.is_zero()) {
+    if (since_start.ns() % flash_every.ns() < flash_duration.ns()) {
+      m *= flash_multiplier;
+    }
+  }
+  return m;
+}
+
 namespace {
 
 /// One ServingStudy run's mutable state. Events carry {engine, slot}
@@ -72,6 +93,9 @@ struct ServingEngine {
   std::size_t downlink_next = 0;
   bool batch_uplink = false;
   bool batch_downlink = false;
+  /// Arrival shaping engaged (Config::shape.active()), cached off the
+  /// per-draw path.
+  bool shaped = false;
 
   RequestSlab slab;
   ServingStudy::Report& report;
@@ -121,6 +145,7 @@ struct ServingEngine {
     arrival_next = kBlock;  // empty: first draw refills
     batch_uplink = networked && cfg.uplink.batchable();
     batch_downlink = networked && cfg.downlink.batchable();
+    shaped = cfg.shape.active();
     if (batch_uplink) {
       uplink_block.resize(kBlock);
       uplink_next = kBlock;
@@ -136,7 +161,16 @@ struct ServingEngine {
       interarrival.sample_into(arrival_sec, arrival_rng);
       arrival_next = 0;
     }
-    return Duration::from_seconds_f(arrival_sec[arrival_next++]);
+    const double sec = arrival_sec[arrival_next++];
+    // Trace-style shaping: each chained draw is thinned/compressed by
+    // the instantaneous rate multiplier at its generating event. The
+    // inactive default leaves the draw untouched (same expression, same
+    // bits).
+    if (shaped) [[unlikely]] {
+      return Duration::from_seconds_f(
+          sec / config.shape.rate_multiplier(sim.now() - TimePoint{}));
+    }
+    return Duration::from_seconds_f(sec);
   }
 
   [[nodiscard]] Duration next_uplink() {
@@ -288,6 +322,9 @@ ServingStudy::Report ServingStudy::run(const Config& config) {
                   static_cast<bool>(config.downlink),
               "uplink and downlink samplers must be set together: latency "
               "and energy accounting both key on the pair");
+  SIXG_ASSERT(!config.shape.active() || config.chained_arrivals,
+              "arrival shaping needs chained_arrivals: the rate multiplier "
+              "is evaluated at the generating event's sim time");
 
   Report report;
   // The quantile reservoir draws from its own seed-derived stream (and

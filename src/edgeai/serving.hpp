@@ -29,6 +29,36 @@
 
 namespace sixg::edgeai {
 
+/// Trace-style modulation of the Poisson arrival process: a diurnal
+/// curve plus periodic flash-crowd bursts, layered on chained-arrival
+/// generation by scaling each interarrival draw with the instantaneous
+/// rate multiplier. Inactive by default (multiplier identically 1), in
+/// which case the draw passes through untouched and the run stays
+/// byte-identical to a build without the feature.
+///
+/// The diurnal curve is a piecewise-linear triangle wave — trough (1 -
+/// amplitude) at phase 0, peak (1 + amplitude) at half period — on
+/// purpose: it needs no libm, so the modulated trajectory is exactly
+/// reproducible everywhere the unmodulated one is. Flash crowds multiply
+/// the rate by `flash_multiplier` for `flash_duration` at the start of
+/// every `flash_every` interval.
+struct ArrivalShape {
+  double diurnal_amplitude = 0.0;  ///< [0, 1); 0 disables the curve
+  Duration diurnal_period;         ///< one simulated "day"
+  double flash_multiplier = 1.0;   ///< >= 1; 1 disables the bursts
+  Duration flash_every;            ///< burst cadence
+  Duration flash_duration;         ///< burst length, < flash_every
+
+  [[nodiscard]] bool active() const {
+    return (diurnal_amplitude > 0.0 && !diurnal_period.is_zero()) ||
+           (flash_multiplier != 1.0 && !flash_every.is_zero() &&
+            !flash_duration.is_zero());
+  }
+
+  /// Instantaneous arrival-rate multiplier at `since_start` into the run.
+  [[nodiscard]] double rate_multiplier(Duration since_start) const;
+};
+
 /// Runs one inference-serving workload on one simulator timeline.
 class ServingStudy {
  public:
@@ -70,6 +100,11 @@ class ServingStudy {
     /// in-flight serving event (never observed; asserted equal across
     /// seeds in tests).
     bool chained_arrivals = false;
+    /// Trace-style arrival modulation (diurnal + flash crowds). Requires
+    /// chained_arrivals when active: the rate multiplier is evaluated at
+    /// the generating event's sim time, which prescheduling does not
+    /// have. Inactive by default — the arrival stream is then untouched.
+    ArrivalShape shape;
     /// Streaming end-to-end histogram shape, [0, hist_hi_ms) in ms.
     double hist_hi_ms = 250.0;
     std::size_t hist_bins = 500;

@@ -201,6 +201,56 @@ TEST(AcceleratorServer, BoundedQueueDropsOverflow) {
     EXPECT_EQ(h.completions[i].request_id, i);
 }
 
+TEST(AcceleratorServer, ContinuousLaunchesImmediatelyAndReformsBatches) {
+  // Iteration-level scheduling: a lone request on an idle server launches
+  // as a batch of one at once — the (long) window never arms — and the
+  // arrivals queued during its service re-form the next batch at the
+  // completion, not at a timer.
+  ServerHarness h{{.max_batch = 8, .batch_window = 50.0_ms,
+                   .queue_capacity = 256, .continuous = true}};
+  h.submit_at(Duration{}, 0);
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    h.submit_at(Duration::from_millis_f(0.1), i);
+  h.sim.run();
+  ASSERT_EQ(h.completions.size(), 6u);
+  EXPECT_EQ(h.completions[0].batch_size, 1u);   // launched alone, at once
+  EXPECT_LT(h.completions[0].done.ms(), 25.0);  // far below the window
+  EXPECT_EQ(h.completions[1].batch_size, 5u);   // re-formed at completion
+  EXPECT_EQ(h.server.batches_launched(), 2u);
+}
+
+TEST(AcceleratorServer, LanesPreemptByWholeLanesAtBatchFormation) {
+  netsim::Simulator sim(1);
+  AcceleratorServer::BatchingConfig config;
+  config.max_batch = 4;
+  config.queue_capacity = 16;
+  config.continuous = true;
+  config.lanes = 2;
+  AcceleratorServer server(sim, AcceleratorProfile::edge_gpu(),
+                           ModelZoo::at("det-base"), config);
+  std::vector<std::uint32_t> order;
+  server.set_completion_sink(
+      [&order](std::uint32_t slot, std::uint64_t,
+               const AcceleratorServer::Completion&) { order.push_back(slot); });
+  sim.schedule_at(TimePoint{}, [&server] {
+    (void)server.submit(std::uint32_t{0}, 0, 0);  // launches alone
+  });
+  // While slot 0 executes: lane 1 queues four requests FIRST, then lane 0
+  // queues four. Batch formation drains lanes in index order, so the
+  // late-arriving lane-0 work preempts the whole queued lane-1 backlog —
+  // but only at the formation boundary, never mid-batch.
+  sim.schedule_at(TimePoint{} + Duration::micros(50), [&server] {
+    for (std::uint32_t s = 1; s <= 4; ++s) (void)server.submit(s, 0, 1);
+    for (std::uint32_t s = 10; s <= 13; ++s) (void)server.submit(s, 0, 0);
+  });
+  sim.run();
+  const std::vector<std::uint32_t> want{0, 10, 11, 12, 13, 1, 2, 3, 4};
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(server.batches_launched(), 3u);
+  EXPECT_EQ(server.dropped_queue_full(0), 0u);
+  EXPECT_EQ(server.dropped_queue_full(1), 0u);
+}
+
 // ------------------------------------------------------------------ offload
 
 TEST(Offload, LatencyGreedyIsMonotoneTowardsEdge) {

@@ -167,10 +167,219 @@ TEST(FleetStudy, ThreadCountDoesNotChangeCampaignResults) {
   EXPECT_EQ(serial, sweep_means(4));
 }
 
+// ------------------------------------------- SLO classes & continuous mode
+
+/// The equivalence pin of the continuous-batching PR: window-mode digests
+/// captured from the tree immediately BEFORE priority lanes, SLO classes
+/// and the continuous scheduler landed. A classless window-mode config
+/// must keep producing these exact reports forever — the features are
+/// zero-cost and zero-effect unless configured.
+TEST(FleetStudy, WindowModeDigestsMatchPreLanePin) {
+  struct Pin {
+    std::uint64_t seed;
+    std::uint64_t digest;
+  };
+  static constexpr Pin kNetworked[] = {
+      {1, 0x46d86929837e6b40ull},          {2, 0xc7f9af239d42b7a9ull},
+      {3, 0xd2366f21e1bfc11aull},          {5, 0xbf58bae2577d837aull},
+      {17, 0xd49d4ab3b80fa257ull},         {42, 0x3bc4a12f10de7b06ull},
+      {1234, 0x4f6b5945d4c0c12cull},       {0xdecafbad, 0x78eba63fbff653caull},
+  };
+  static constexpr Pin kLocal[] = {
+      {1, 0xa9545a4cff2c7d49ull},          {2, 0xb8eb47efbad0fa92ull},
+      {3, 0x326f850c01b72033ull},          {5, 0xf65bbba90ab6db09ull},
+      {17, 0xa43a0dfccbc2c95bull},         {42, 0x81a76bc01aaecbb4ull},
+      {1234, 0x9f724f6b551b40b1ull},       {0xdecafbad, 0x6081f2ef556dee0bull},
+  };
+  for (const bool networked : {true, false}) {
+    for (const auto& pin : networked ? kNetworked : kLocal) {
+      auto config = make_config(3, DispatchPolicy::kJoinShortestQueue,
+                                pin.seed);
+      if (!networked) {
+        for (auto& spec : config.servers) {
+          spec.uplink = {};
+          spec.downlink = {};
+        }
+      }
+      const auto report = FleetStudy::run(config);
+      EXPECT_EQ(fleet_report_digest(report), pin.digest)
+          << (networked ? "networked" : "local") << " seed " << pin.seed;
+      EXPECT_TRUE(report.classes.empty());
+    }
+  }
+  // Sharded variant: remote legs, mailboxes and the merge path.
+  static constexpr Pin kSharded[] = {{1, 0x4f7105e6b5d73282ull},
+                                     {42, 0x974f65e7f7d5a485ull}};
+  for (const auto& pin : kSharded) {
+    ShardedFleetStudy::Config config;
+    config.shard = make_config(3, DispatchPolicy::kJoinShortestQueue,
+                               pin.seed);
+    config.shards = 4;
+    config.workers = 1;
+    config.window = Duration::from_millis_f(1.0);
+    config.remote_fraction = 0.25;
+    config.remote_uplink = synthetic_hop(1.0e-3, 0.5e-3);
+    config.remote_downlink = synthetic_hop(1.0e-3, 0.5e-3);
+    const auto report = ShardedFleetStudy::run(config);
+    EXPECT_EQ(fleet_report_digest(report), pin.digest)
+        << "sharded seed " << pin.seed;
+  }
+}
+
+TEST(FleetReport, SloAttainmentCountsFailuresInDenominator) {
+  // The documented contract of Report::slo_attainment(): the denominator
+  // is settled requests — delivered plus failed — because a shed, timed
+  // out or dropped request misses the SLO too.
+  FleetStudy::Report r;
+  for (int i = 0; i < 6; ++i) r.e2e_ms.add(5.0);  // delivered
+  r.within_slo = 4;
+  r.failed = 2;
+  EXPECT_DOUBLE_EQ(r.slo_attainment(), 4.0 / 8.0);
+  EXPECT_DOUBLE_EQ(r.availability(), 6.0 / 8.0);
+  const FleetStudy::Report empty;
+  EXPECT_DOUBLE_EQ(empty.slo_attainment(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.availability(), 1.0);
+  FleetStudy::Report::ClassStats cs;
+  cs.delivered = 6;
+  cs.within_slo = 4;
+  cs.failed = 2;
+  EXPECT_DOUBLE_EQ(cs.slo_attainment(), 0.5);
+}
+
+/// Two-class continuous-batching fleet pushed into contention: the
+/// workload the thread/worker-invariance and attribution tests share.
+FleetStudy::Config classed_config(std::uint64_t seed) {
+  auto config = make_config(3, DispatchPolicy::kJoinShortestQueue, seed);
+  config.arrivals_per_second = 11000.0;  // ~90% of three edge GPUs
+  for (auto& spec : config.servers) {
+    spec.batching.continuous = true;
+    spec.batching.lanes = 2;
+  }
+  FleetStudy::SloClassSpec interactive;
+  interactive.name = "interactive";
+  interactive.share = 0.4;
+  FleetStudy::SloClassSpec batch;
+  batch.name = "batch";
+  batch.share = 0.6;
+  batch.slo = Duration::from_millis_f(60.0);
+  batch.lane = 1;
+  batch.shed_queue_depth = 96;
+  config.classes = {interactive, batch};
+  return config;
+}
+
+TEST(FleetStudy, ContinuousClassesInvariantAcrossThreadsAndWorkers) {
+  // Serial engine under core::Campaign: the digest of every sweep point
+  // must not move with the worker thread count.
+  const auto sweep_digests = [](unsigned threads) {
+    core::RunContext ctx;
+    ctx.seed = 29;
+    ctx.threads = threads;
+    const core::Campaign campaign{ctx, 0xc1a55e5};
+    return campaign.sweep<std::uint64_t>(
+        4, [](std::size_t point, std::uint64_t seed) {
+          auto config = classed_config(seed);
+          config.requests = 10000 + 1000 * std::uint32_t(point);
+          return fleet_report_digest(FleetStudy::run(config));
+        });
+  };
+  const auto serial = sweep_digests(1);
+  EXPECT_EQ(serial, sweep_digests(2));
+  EXPECT_EQ(serial, sweep_digests(4));
+
+  // Sharded engine: same template behind inter-pod legs; the merged
+  // report (including the per-class rows) is worker-count invariant.
+  const auto sharded_digest = [](unsigned workers) {
+    ShardedFleetStudy::Config config;
+    config.shard = classed_config(7);
+    config.shard.requests = 8000;
+    config.shards = 4;
+    config.workers = workers;
+    config.window = Duration::from_millis_f(1.0);
+    config.remote_fraction = 0.25;
+    config.remote_uplink = synthetic_hop(1.0e-3, 0.5e-3);
+    config.remote_downlink = synthetic_hop(1.0e-3, 0.5e-3);
+    const auto report = ShardedFleetStudy::run(config);
+    EXPECT_EQ(report.classes.size(), 2u);
+    return fleet_report_digest(report);
+  };
+  EXPECT_EQ(sharded_digest(1), sharded_digest(8));
+}
+
+TEST(FleetStudy, ClassDeadlineFiresAcrossContinuousReformation) {
+  // A per-class deadline arms the hardened path even with
+  // ResilienceConfig::deadline zero, and the deadline timers interact
+  // with continuous batch re-formation: an overloaded continuous server
+  // keeps launching batches while queued requests expire mid-wait.
+  auto config = make_config(1, DispatchPolicy::kJoinShortestQueue, 9);
+  config.arrivals_per_second = 12000.0;  // ~3x one edge GPU
+  config.requests = 8000;
+  config.servers[0].batching.continuous = true;
+  FleetStudy::SloClassSpec cls;
+  cls.name = "deadline";
+  cls.deadline = Duration::from_millis_f(10.0);
+  config.classes = {cls};
+  const auto report = FleetStudy::run(config);
+  ASSERT_EQ(report.classes.size(), 1u);
+  const auto& cs = report.classes[0];
+  EXPECT_EQ(cs.offered, 8000u);
+  EXPECT_GT(cs.timed_out, 0u);    // expiries while queued behind batches
+  EXPECT_GT(cs.delivered, 0u);    // early arrivals still make it
+  EXPECT_EQ(cs.timed_out, report.timed_out);
+  EXPECT_EQ(cs.delivered + cs.failed, cs.offered);  // every request settles
+  EXPECT_LE(cs.within_slo, cs.delivered);
+}
+
+TEST(FleetStudy, ShedAndQueueFullAttributionAreDistinct) {
+  // Same 2x-overload, with and without the class admission bound: the
+  // bound converts uncontrolled ring-full drops into counted sheds, and
+  // the two counters never blur into each other.
+  auto config = make_config(2, DispatchPolicy::kJoinShortestQueue, 77);
+  config.arrivals_per_second = 16000.0;
+  config.requests = 10000;
+  for (auto& spec : config.servers) spec.batching.continuous = true;
+  FleetStudy::SloClassSpec cls;
+  cls.name = "std";
+  config.classes = {cls};
+
+  const auto uncontrolled = FleetStudy::run(config);
+  ASSERT_EQ(uncontrolled.classes.size(), 1u);
+  EXPECT_GT(uncontrolled.classes[0].dropped_queue_full, 0u);
+  EXPECT_EQ(uncontrolled.classes[0].shed, 0u);
+  EXPECT_EQ(uncontrolled.shed, 0u);
+  EXPECT_EQ(uncontrolled.classes[0].dropped_queue_full, uncontrolled.dropped);
+
+  config.classes[0].shed_queue_depth = 64;  // < the 2x64 ring capacity
+  const auto shedding = FleetStudy::run(config);
+  ASSERT_EQ(shedding.classes.size(), 1u);
+  EXPECT_GT(shedding.classes[0].shed, 0u);
+  EXPECT_EQ(shedding.classes[0].shed, shedding.shed);
+  EXPECT_EQ(shedding.classes[0].dropped_queue_full, 0u);  // bound holds
+}
+
+TEST(FleetStudy, ArrivalShapeIsDeterministicAndModulatesLoad) {
+  auto config = make_config(3, DispatchPolicy::kJoinShortestQueue, 15);
+  const auto flat = FleetStudy::run(config);
+  config.shape.diurnal_amplitude = 0.5;
+  config.shape.diurnal_period = Duration::from_seconds_f(2.0);
+  config.shape.flash_multiplier = 2.0;
+  config.shape.flash_every = Duration::from_millis_f(500.0);
+  config.shape.flash_duration = Duration::from_millis_f(50.0);
+  ASSERT_TRUE(config.shape.active());
+  const auto a = FleetStudy::run(config);
+  const auto b = FleetStudy::run(config);
+  EXPECT_EQ(fleet_report_digest(a), fleet_report_digest(b));
+  EXPECT_NE(fleet_report_digest(a), fleet_report_digest(flat));
+  // The shape modulates *when* requests arrive, never how many.
+  EXPECT_EQ(a.completed + a.dropped, 20000u);
+}
+
 TEST(FleetScenarios, RegisteredAndDeterministic) {
   core::ScenarioRegistry registry;
   core::register_paper_scenarios(registry);
-  for (const char* name : {"city-serving", "fleet-dispatch-ablation"}) {
+  for (const char* name :
+       {"city-serving", "fleet-dispatch-ablation", "continuous-vs-window",
+        "overload-ladder", "priority-mix-sweep"}) {
     ASSERT_TRUE(registry.contains(name)) << name;
   }
   // The ablation grid is the cheaper of the two; run it across thread
